@@ -1,0 +1,143 @@
+(* kft-transform: command-line driver for the end-to-end transformation.
+
+   Mirrors the paper's workflow control (Section 3.2): the programmer
+   runs the framework over a program, dumps the intermediate artifacts of
+   every stage (metadata text files, DDG/OEG DOT graphs, the GGA
+   parameter file), and emits the new CUDA code. The bundled evaluation
+   applications are available via --app. *)
+
+open Cmdliner
+
+let list_apps () =
+  List.iter
+    (fun (a : Kft_apps.Apps.app) ->
+      Printf.printf "%-13s %3d kernels, %3d arrays  -- %s\n" a.app_name
+        (List.length a.program.p_kernels)
+        (List.length a.program.p_arrays)
+        a.description)
+    (Kft_apps.Apps.all ())
+
+let run app_name device_name generations population no_fission no_tuning expert_codegen filter
+    seed out_dir emit_cuda quiet list =
+  if list then begin
+    list_apps ();
+    `Ok ()
+  end
+  else
+    match Kft_apps.Apps.by_name app_name with
+    | None ->
+        `Error (false, Printf.sprintf "unknown application %S (try --list)" app_name)
+    | Some app -> (
+        match Kft_device.Device.by_name device_name with
+        | None -> `Error (false, Printf.sprintf "unknown device %S" device_name)
+        | Some base_device ->
+            let device =
+              (* the bundled apps are scaled down; scale the launch
+                 overhead with them (see DESIGN.md) *)
+              { base_device with kernel_launch_overhead_us = 0.3 }
+            in
+            let codegen_options =
+              let base =
+                if expert_codegen then Kft_codegen.Fusion.manual_options
+                else Kft_codegen.Fusion.auto_options
+              in
+              { base with tune_blocks = not no_tuning }
+            in
+            let config =
+              {
+                Kft_framework.Framework.default_config with
+                device;
+                filter_mode =
+                  (match filter with
+                  | "auto" -> Kft_framework.Framework.Automated
+                  | "manual" -> Kft_framework.Framework.Manual
+                  | _ -> Kft_framework.Framework.No_filtering);
+                codegen_options;
+                seed;
+                gga_params =
+                  {
+                    Kft_gga.Gga.default_params with
+                    generations;
+                    population;
+                    fission_enabled = not no_fission;
+                    seed;
+                  };
+              }
+            in
+            let report = Kft_framework.Framework.transform ~config app.program in
+            if not quiet then print_string (Kft_framework.Framework.stage_report report);
+            (match out_dir with
+            | Some dir ->
+                if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+                Kft_metadata.Metadata.to_files report.metadata ~dir;
+                let write name contents =
+                  let oc = open_out (Filename.concat dir name) in
+                  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+                      output_string oc contents)
+                in
+                write "ddg.dot" (Kft_ddg.Ddg.ddg_dot report.graphs);
+                write "oeg.dot" (Kft_ddg.Ddg.oeg_dot report.graphs);
+                write "ddg_new.dot" (Kft_ddg.Ddg.ddg_dot report.new_graphs);
+                write "oeg_new.dot" (Kft_ddg.Ddg.oeg_dot report.new_graphs);
+                write "gga.params" (Kft_gga.Gga.params_to_text config.gga_params);
+                Printf.printf "stage artifacts written to %s/\n" dir
+            | None -> ());
+            (match emit_cuda with
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+                    output_string oc (Kft_cuda.Pp.program report.transformed));
+                Printf.printf "transformed CUDA written to %s\n" path
+            | None -> ());
+            (match report.verified with
+            | Ok () -> `Ok ()
+            | Error diffs ->
+                `Error
+                  ( false,
+                    Printf.sprintf "output verification failed on %d arrays"
+                      (List.length diffs) )))
+
+let cmd =
+  let app_arg =
+    Arg.(value & opt string "MITgcm" & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Application to transform (see --list).")
+  in
+  let device =
+    Arg.(value & opt string "Tesla K20X" & info [ "device" ] ~docv:"NAME" ~doc:"Target device model (Tesla K20X, Tesla K40, Generic Kepler).")
+  in
+  let generations =
+    Arg.(value & opt int 150 & info [ "generations" ] ~doc:"GGA generations (paper default: 500).")
+  in
+  let population =
+    Arg.(value & opt int 40 & info [ "population" ] ~doc:"GGA population size (paper default: 100).")
+  in
+  let no_fission = Arg.(value & flag & info [ "no-fission" ] ~doc:"Disable lazy kernel fission.") in
+  let no_tuning =
+    Arg.(value & flag & info [ "no-tuning" ] ~doc:"Disable thread-block-size tuning.")
+  in
+  let expert =
+    Arg.(value & flag & info [ "expert-codegen" ] ~doc:"Use the expert (hand-fusion-style) code generation switches.")
+  in
+  let filter =
+    Arg.(value & opt string "auto" & info [ "filter" ] ~docv:"auto|manual|none" ~doc:"Target-filtering mode.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (GGA + data).") in
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "o"; "artifacts" ] ~docv:"DIR" ~doc:"Dump stage artifacts (metadata files, DOT graphs, GGA parameters).")
+  in
+  let emit_cuda =
+    Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE" ~doc:"Write the transformed CUDA program.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the stage report.") in
+  let list = Arg.(value & flag & info [ "list" ] ~doc:"List bundled applications and exit.") in
+  let term =
+    Term.ret
+      Term.(
+        const run $ app_arg $ device $ generations $ population $ no_fission $ no_tuning
+        $ expert $ filter $ seed $ out_dir $ emit_cuda $ quiet $ list)
+  in
+  Cmd.v
+    (Cmd.info "kft-transform" ~version:"1.0.0"
+       ~doc:"Automated GPU kernel fusion/fission transformation framework")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/programmer_guided.ml: Kft_apps Kft_codegen Kft_framework Kft_gga Kft_metadata List Printf String

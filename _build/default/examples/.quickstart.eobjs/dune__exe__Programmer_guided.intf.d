@@ -1,0 +1,1 @@
+examples/programmer_guided.mli:

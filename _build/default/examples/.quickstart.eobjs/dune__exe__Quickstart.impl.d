@@ -1,0 +1,1 @@
+examples/quickstart.ml: Kft_cuda Kft_framework Kft_gga

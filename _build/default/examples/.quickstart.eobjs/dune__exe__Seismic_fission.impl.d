@@ -1,0 +1,1 @@
+examples/seismic_fission.ml: Kft_apps Kft_codegen Kft_cuda Kft_fission Kft_framework Kft_gga List Printf String

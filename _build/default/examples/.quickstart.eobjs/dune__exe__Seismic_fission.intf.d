@@ -1,0 +1,1 @@
+examples/seismic_fission.mli:

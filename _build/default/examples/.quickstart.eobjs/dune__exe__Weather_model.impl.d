@@ -1,0 +1,1 @@
+examples/weather_model.ml: Filename Fun Kft_apps Kft_codegen Kft_cuda Kft_ddg Kft_framework Kft_gga Kft_metadata List Printf String Unix

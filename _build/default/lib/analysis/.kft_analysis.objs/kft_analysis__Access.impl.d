@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Hashtbl Kft_cuda List Option Printf

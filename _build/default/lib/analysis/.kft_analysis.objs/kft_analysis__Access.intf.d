@@ -1,0 +1,1 @@
+lib/analysis/access.mli: Kft_cuda

@@ -1,0 +1,1 @@
+lib/analysis/classify.ml: Kft_device

@@ -1,0 +1,1 @@
+lib/analysis/classify.mli: Kft_device

@@ -1,0 +1,1 @@
+lib/analysis/cost.ml: Access Hashtbl Kft_cuda List

@@ -1,0 +1,1 @@
+lib/analysis/cost.mli: Access Kft_cuda

@@ -1,0 +1,1 @@
+lib/analysis/deps.ml: Hashtbl Kft_cuda Kft_graph List

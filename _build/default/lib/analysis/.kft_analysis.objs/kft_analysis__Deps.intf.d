@@ -1,0 +1,1 @@
+lib/analysis/deps.mli: Kft_cuda

@@ -1,0 +1,73 @@
+open Kft_cuda.Ast
+
+module G = Kft_graph.Digraph
+
+(* For each statement, the set of global arrays whose values flow into
+   the statement's writes. Scalar temporaries carry their source-array
+   sets forward. *)
+let array_dependence_edges (k : kernel) =
+  let globals = referenced_arrays k in
+  let is_global a = List.mem a globals in
+  (* taint: scalar name -> arrays its value derives from *)
+  let taint : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let union a b = List.sort_uniq compare (a @ b) in
+  let rec sources e =
+    match e with
+    | Int_lit _ | Double_lit _ | Builtin _ -> []
+    | Var v -> ( match Hashtbl.find_opt taint v with Some s -> s | None -> [])
+    | Index (a, idxs) ->
+        let from_idx = List.concat_map sources idxs in
+        if is_global a then union [ a ] from_idx else from_idx
+    | Binop (_, a, b) -> union (sources a) (sources b)
+    | Unop (_, a) -> sources a
+    | Call (_, args) -> List.concat_map sources args |> List.sort_uniq compare
+    | Ternary (c, a, b) -> union (sources c) (union (sources a) (sources b))
+  in
+  let edges = ref [] in
+  let add_edge a b =
+    if a <> b then
+      let p = if a < b then (a, b) else (b, a) in
+      if not (List.mem p !edges) then edges := p :: !edges
+  in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Decl (_, v, Some e) -> Hashtbl.replace taint v (sources e)
+        | Decl (_, v, None) -> Hashtbl.replace taint v []
+        | Assign (Lvar v, e) ->
+            let prev = match Hashtbl.find_opt taint v with Some s -> s | None -> [] in
+            Hashtbl.replace taint v (union prev (sources e))
+        | Assign (Lindex (a, idxs), e) ->
+            let srcs = union (List.concat_map sources idxs) (sources e) in
+            if is_global a then List.iter (fun b -> add_edge a b) srcs
+        | If (c, t, els) ->
+            (* control dependence: writes under the condition depend on
+               the condition's source arrays *)
+            let csrc = sources c in
+            let tag stmts =
+              fold_stmts
+                (fun () s ->
+                  match s with
+                  | Assign (Lindex (a, _), _) when is_global a ->
+                      List.iter (fun b -> add_edge a b) csrc
+                  | _ -> ())
+                () stmts
+            in
+            tag t;
+            tag els;
+            walk t;
+            walk els
+        | For l -> walk l.body
+        | Shared_decl _ | Syncthreads | Return -> ())
+      stmts
+  in
+  walk k.k_body;
+  List.sort compare !edges
+
+let separable_groups (k : kernel) =
+  let globals = referenced_arrays k in
+  let g = G.create () in
+  List.iter (fun a -> G.ensure_node g ~key:a ()) globals;
+  List.iter (fun (a, b) -> G.add_edge g a b) (array_dependence_edges k);
+  G.components g

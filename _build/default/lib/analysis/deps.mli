@@ -1,0 +1,19 @@
+(** Intra-kernel dependence between data arrays (the statement-level
+    dependence analysis feeding kernel fission, Algorithm 2).
+
+    Array [A] depends on array [B] when some instruction chain inside the
+    kernel lets values of [B] influence values written to [A] — directly
+    ([A\[..\] = f(B\[..\])]) or through scalar temporaries. The fission
+    dependence graph is undirected: Algorithm 2 only needs "altering one
+    array has no side effect on the other". *)
+
+val array_dependence_edges : Kft_cuda.Ast.kernel -> (string * string) list
+(** Unordered dependent pairs over the kernel's global array parameters,
+    with [fst < snd]; deduplicated. Scalar temporaries are tracked
+    transitively: [t = f(B); A = g(t)] yields (A, B). Arrays co-written
+    by the same statement are also paired. *)
+
+val separable_groups : Kft_cuda.Ast.kernel -> string list list
+(** Connected components of the dependence graph over the kernel's
+    referenced arrays (deterministic order). A kernel with a single
+    component has no separable data arrays and cannot be fissioned. *)

@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Array Gen Hashtbl Kft_cuda Kft_device List Printf String

@@ -1,0 +1,1 @@
+lib/apps/apps.mli: Gen Kft_cuda Kft_device

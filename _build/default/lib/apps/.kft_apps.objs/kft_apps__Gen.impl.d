@@ -1,0 +1,1 @@
+lib/apps/gen.ml: Hashtbl Kft_cuda List Option Printf

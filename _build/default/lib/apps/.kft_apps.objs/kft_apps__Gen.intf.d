@@ -1,0 +1,1 @@
+lib/apps/gen.mli: Kft_cuda

@@ -1,0 +1,320 @@
+open Kft_cuda.Ast
+
+type app = {
+  app_name : string;
+  description : string;
+  program : program;
+}
+
+let bench_device = { Kft_device.Device.k20x with kernel_launch_overhead_us = 0.3 }
+
+let bench_device_k40 = { Kft_device.Device.k40 with kernel_launch_overhead_us = 0.3 }
+
+(* assemble built kernels into a program, deduplicating arrays by name *)
+let assemble name description builts =
+  let arrays = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (b : Gen.built) ->
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt arrays a.a_name with
+          | Some existing ->
+              if existing.a_dims <> a.a_dims then
+                invalid_arg
+                  (Printf.sprintf "app %s: array %s declared with two different shapes" name
+                     a.a_name)
+          | None ->
+              Hashtbl.replace arrays a.a_name a;
+              order := a.a_name :: !order)
+        b.arrays)
+    builts;
+  {
+    p_name = name;
+    p_arrays = List.rev_map (Hashtbl.find arrays) !order;
+    p_kernels = List.map (fun (b : Gen.built) -> b.kernel) builts;
+    p_schedule = List.map (fun (b : Gen.built) -> Launch b.launch) builts;
+  }
+  |> fun program -> { app_name = name; description; program }
+
+let nm fmt = Printf.sprintf fmt
+
+let star_2d r = [ (r, 0, 0); (-r, 0, 0); (0, r, 0); (0, -r, 0) ]
+
+let star_3d r = star_2d r @ [ (0, 0, r); (0, 0, -r) ]
+
+(* ------------------------------------------------------------------ *)
+(* SCALE-LES                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scale_les ?(dims = { Gen.nx = 96; ny = 16; nz = 12 }) ?(chains = 28) () =
+  let d = dims in
+  let flux_pool = max 1 (chains / 2) in
+  let builts = ref [] in
+  let push b = builts := b :: !builts in
+  for v = 1 to chains do
+    let q = nm "Q%02d" v and q2 = nm "Q%02d" ((v mod chains) + 1) in
+    let f = nm "F%02d" (((v - 1) mod flux_pool) + 1) in
+    let t = nm "T%02d" v in
+    (* flux: 3D star over the field, coupled to the neighbouring field *)
+    push
+      (Gen.stencil d ~name:(nm "flux_%02d" v) ~out:f
+         ~ins:[ (q, star_3d 1 @ [ (0, 0, 0) ]); (q2, [ (0, 0, 0) ]) ]
+         ~coef:0.16 ());
+    (* tendency: horizontal star over the produced flux *)
+    push
+      (Gen.stencil d ~name:(nm "tend_%02d" v) ~out:t
+         ~ins:[ (f, star_2d 1); (q, [ (0, 0, 0) ]) ]
+         ~coef:0.25 ());
+    (* every fourth variable gets a vertical-band integration kernel
+       (depth-2 loop nest, the Figure 6 population); it reads the
+       pre-update fields, so it is fusable with the flux/tendency pair *)
+    if v mod 4 = 0 then
+      push
+        (Gen.deep_nest d ~name:(nm "vint_%02d" (v / 4))
+           ~out:(nm "D%02d" (((v / 4 - 1) mod 4) + 1))
+           ~band_in:q ~plane_ins:[ q2; t ] ~band:3 ~coef:0.2 ());
+    (* update: pointwise, writes the field back *)
+    push (Gen.pointwise d ~name:(nm "upd_%02d" v) ~out:q ~ins:[ t; q ] ~coef:0.5 ())
+  done;
+  for b = 1 to 12 do
+    let q = nm "Q%02d" (((b - 1) mod chains) + 1) in
+    push
+      (Gen.boundary d ~name:(nm "bc_%02d" b) ~out:q ~src:q
+         ~plane:(if b mod 2 = 0 then 0 else d.nz - 1)
+         ())
+  done;
+  for cb = 1 to 10 do
+    let q = nm "Q%02d" (((cb + 11) mod chains) + 1) in
+    push (Gen.compute_bound d ~name:(nm "phys_%02d" cb) ~out:(nm "CB%02d" cb) ~src:q ())
+  done;
+  assemble "SCALE-LES" "next-generation weather model (dynamical core)" (List.rev !builts)
+
+(* ------------------------------------------------------------------ *)
+(* HOMME                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let homme ?(dims = { Gen.nx = 96; ny = 16; nz = 12 }) ?(chains = 7) () =
+  let d = dims in
+  let builts = ref [] in
+  let push b = builts := b :: !builts in
+  for v = 1 to chains do
+    let q = nm "E%02d" v and q2 = nm "E%02d" ((v mod chains) + 1) in
+    let f = nm "G%02d" v and t = nm "H%02d" v in
+    (* alternate domain widths on the warp dimension: fused guards
+       diverge inside boundary warps (Figure 7) *)
+    let width = if v mod 2 = 0 then Some (d.nx - 9) else None in
+    (* two-statement kernels: the x- and y-component of the operator --
+       under the automated per-statement guard placement the divergent
+       boundary warps pay for every statement (Figure 7) *)
+    push
+      (Gen.stencil d ?width ~extra_out:(nm "GD%02d" v) ~name:(nm "grad_%02d" v) ~out:f
+         ~ins:[ (q, star_3d 1 @ [ (0, 0, 0) ]); (q2, [ (0, 0, 0) ]) ]
+         ~coef:0.15 ());
+    push
+      (Gen.stencil d ?width ~extra_out:(nm "HD%02d" v) ~name:(nm "div_%02d" v) ~out:t
+         ~ins:[ (f, star_2d 1); (q, [ (0, 0, 0) ]) ]
+         ~coef:0.3 ());
+    if v = 1 then
+      push
+        (Gen.deep_nest d ~name:"vsum_01" ~out:"VS01" ~band_in:q ~plane_ins:[ q2 ] ~band:3 ());
+    push (Gen.pointwise d ?width ~name:(nm "adv_%02d" v) ~out:q ~ins:[ t; q ] ~coef:0.45 ())
+  done;
+  for b = 1 to 12 do
+    let q = nm "E%02d" (((b - 1) mod chains) + 1) in
+    push
+      (Gen.boundary d ~name:(nm "bc_%02d" b) ~out:q ~src:q
+         ~plane:(if b mod 2 = 0 then 0 else d.nz - 1)
+         ())
+  done;
+  for cb = 1 to 9 do
+    let q = nm "E%02d" (((cb - 1) mod chains) + 1) in
+    push (Gen.compute_bound d ~name:(nm "rhs_%02d" cb) ~out:(nm "CB%02d" cb) ~src:q ())
+  done;
+  assemble "HOMME" "CAM spectral-element dynamical core" (List.rev !builts)
+
+(* ------------------------------------------------------------------ *)
+(* Fluam                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fluam ?(dims = { Gen.nx = 64; ny = 16; nz = 12 }) ?(chains = 10) () =
+  let d = dims in
+  let builts = ref [] in
+  let push b = builts := b :: !builts in
+  for v = 1 to chains do
+    let q = nm "U%02d" v and q2 = nm "U%02d" ((v mod chains) + 1) in
+    let f = nm "W%02d" v and t = nm "R%02d" v in
+    push
+      (Gen.stencil d ~name:(nm "fvol_%02d" v) ~out:f
+         ~ins:[ (q, star_3d 1 @ [ (0, 0, 0) ]); (q2, [ (0, 0, 0) ]) ]
+         ~coef:0.2 ());
+    push
+      (Gen.stencil d ~name:(nm "rk_%02d" v) ~out:t
+         ~ins:[ (f, star_2d 1); (q, [ (0, 0, 0) ]) ]
+         ~coef:0.35 ());
+    push (Gen.pointwise d ~name:(nm "acc_%02d" v) ~out:q ~ins:[ t; q ] ~coef:0.4 ())
+  done;
+  (* particle kernels: latency-bound, mistaken for memory-bound by the
+     automated filter (Figure 8) *)
+  for p = 1 to 12 do
+    push
+      (Gen.latency_bound ~cells:1024 ~name:(nm "part_%02d" p) ~out:(nm "PO%02d" p)
+         ~src:(nm "PI%02d" ((p mod 6) + 1))
+         ~hash_rounds:28 ())
+  done;
+  for b = 1 to 40 do
+    let q = nm "U%02d" (((b - 1) mod chains) + 1) in
+    let plane = match b mod 4 with 0 -> 0 | 1 -> 1 | 2 -> d.nz - 1 | _ -> d.nz - 2 in
+    push (Gen.boundary d ~name:(nm "bc_%02d" b) ~out:q ~src:q ~plane ())
+  done;
+  for cb = 1 to 20 do
+    let q = nm "U%02d" (((cb - 1) mod chains) + 1) in
+    push (Gen.compute_bound d ~name:(nm "coll_%02d" cb) ~out:(nm "CB%02d" cb) ~src:q ())
+  done;
+  assemble "Fluam" "fluctuating particle hydrodynamics" (List.rev !builts)
+
+(* ------------------------------------------------------------------ *)
+(* MITgcm                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mitgcm ?(dims = { Gen.nx = 64; ny = 16; nz = 12 }) ?(pairs = 7) () =
+  let d = dims in
+  let builts = ref [] in
+  let push b = builts := b :: !builts in
+  (* occupancy-friendly block: Table 2 reports MITgcm already at 0.95 *)
+  let block = (64, 4) in
+  for i = 1 to pairs do
+    let p = nm "P%02d" i and ap = nm "AP%02d" i and r = nm "RS%02d" i in
+    let pn = nm "P%02d" (min pairs (i + 1)) in
+    push
+      (Gen.stencil d ~name:(nm "lap_%02d" i) ~out:ap
+         ~ins:[ (p, star_2d 1 @ [ (0, 0, 0) ]) ]
+         ~coef:0.24 ~block ());
+    push
+      (Gen.pointwise d ~name:(nm "axpy_%02d" i)
+         ~out:(if i < pairs then pn else r)
+         ~ins:[ ap; p; r ] ~coef:0.6 ~block ())
+  done;
+  for b = 1 to 14 do
+    let p = nm "P%02d" (((b - 1) mod pairs) + 1) in
+    push
+      (Gen.boundary d ~name:(nm "obc_%02d" b) ~out:p ~src:p
+         ~plane:(if b mod 2 = 0 then 0 else d.nz - 1)
+         ~block ())
+  done;
+  for cb = 1 to 9 do
+    let p = nm "P%02d" (((cb - 1) mod pairs) + 1) in
+    push
+      (Gen.compute_bound d ~name:(nm "eos_%02d" cb) ~out:(nm "CB%02d" cb) ~src:p ~block ())
+  done;
+  assemble "MITgcm" "oceanic general circulation model (non-hydrostatic)" (List.rev !builts)
+
+(* ------------------------------------------------------------------ *)
+(* AWP-ODC-GPU                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let awp_odc ?(dims = { Gen.nx = 64; ny = 16; nz = 12 }) () =
+  let d = dims in
+  let block = (64, 16) in
+  let r2 = star_2d 2 in
+  let s i = nm "S%02d" i in
+  let triple base = [ s base; s (base + 1); s (base + 2) ] in
+  let builts =
+    [
+      (* two velocity-update kernels, each already-fused over three
+         separable component groups; both read the same twelve stresses,
+         so fusing them whole needs nine radius-2 tiles -- beyond the
+         48 KB shared-memory capacity at the (64,16) production block.
+         Only fission unlocks the reuse. *)
+      Gen.multi_output d ~name:"vel_a"
+        ~groups:
+          [ ("VXA", triple 1, r2); ("VYA", triple 4, r2); ("VZA", triple 7, r2) ]
+        ~coef:0.11 ~block ();
+      Gen.multi_output d ~name:"vel_b"
+        ~groups:
+          [ ("VXB", triple 1, r2); ("VYB", triple 4, r2); ("VZB", triple 7, r2) ]
+        ~coef:0.13 ~block ();
+      (* stress updates consume the velocities (disjoint per component) *)
+      Gen.multi_output d ~name:"str_a"
+        ~groups:
+          [ (s 1, [ "VXA" ], r2); (s 4, [ "VYA" ], r2); (s 7, [ "VZA" ], r2) ]
+        ~coef:0.09 ~block ();
+      Gen.multi_output d ~name:"str_b"
+        ~groups:
+          [ (s 2, [ "VXB" ], r2); (s 5, [ "VYB" ], r2); (s 8, [ "VZB" ], r2) ]
+        ~coef:0.07 ~block ();
+      Gen.pointwise d ~name:"damp_a" ~out:"DMA" ~ins:[ "VXA"; "VYA"; "VZA" ] ~coef:0.5
+        ~block ();
+      Gen.pointwise d ~name:"damp_b" ~out:"DMB" ~ins:[ "VXB"; "VYB"; "VZB" ] ~coef:0.5
+        ~block ();
+      Gen.boundary d ~name:"abs_01" ~out:"VXA" ~src:"VXA" ~plane:0 ~block ();
+      Gen.boundary d ~name:"abs_02" ~out:"VYA" ~src:"VYA" ~plane:(d.nz - 1) ~block ();
+      Gen.boundary d ~name:"abs_03" ~out:"VXB" ~src:"VXB" ~plane:0 ~block ();
+      Gen.boundary d ~name:"abs_04" ~out:"VYB" ~src:"VYB" ~plane:(d.nz - 1) ~block ();
+      Gen.compute_bound d ~name:"src_01" ~out:"CB01" ~src:"VZA" ~block ();
+      Gen.compute_bound d ~name:"src_02" ~out:"CB02" ~src:"VZB" ~block ();
+    ]
+  in
+  assemble "AWP-ODC-GPU" "earthquake wave propagation (staggered-grid FD)" builts
+
+(* ------------------------------------------------------------------ *)
+(* B-CALM                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bcalm ?(dims = { Gen.nx = 64; ny = 16; nz = 12 }) () =
+  let d = dims in
+  let block = (64, 8) in
+  let r2 = star_2d 2 in
+  let r1 = star_2d 1 in
+  let qa = [ "QA1"; "QA2"; "QA3" ] and qb = [ "QB1"; "QB2"; "QB3" ] and qc = [ "QC1"; "QC2"; "QC3" ] in
+  let pole name out_suffix coef =
+    Gen.multi_output d ~name
+      ~groups:
+        [
+          (nm "PA%s" out_suffix, qa, r2);
+          (nm "PB%s" out_suffix, qb, r2);
+          (nm "PC%s" out_suffix, qc, r2);
+        ]
+      ~coef ~block ()
+  in
+  let builts =
+    [
+      (* pole-update kernels: four of them read the same nine auxiliary
+         fields at radius 2 -> pairwise whole-kernel fusion needs nine
+         radius-2 tiles (> 48 KB); fission splits the components *)
+      pole "pole_a" "1" 0.21;
+      pole "pole_b" "2" 0.19;
+      pole "pole_c" "3" 0.17;
+      pole "pole_d" "4" 0.23;
+      (* field updates consume the poles component-wise *)
+      Gen.multi_output d ~name:"upd_e"
+        ~groups:
+          [
+            ("EX", [ "PA1"; "PA2" ], r1);
+            ("EY", [ "PB1"; "PB2" ], r1);
+            ("EZ", [ "PC1"; "PC2" ], r1);
+          ]
+        ~coef:0.31 ~block ();
+      Gen.multi_output d ~name:"upd_h"
+        ~groups:
+          [ ("HX", [ "EX" ], r1); ("HY", [ "EY" ], r1); ("HZ", [ "EZ" ], r1) ]
+        ~coef:0.27 ~block ();
+      Gen.pointwise d ~name:"flux_e" ~out:"FE" ~ins:[ "EX"; "EY"; "EZ" ] ~coef:0.5 ~block ();
+      Gen.pointwise d ~name:"flux_h" ~out:"FH" ~ins:[ "HX"; "HY"; "HZ" ] ~coef:0.5 ~block ();
+    ]
+    @ List.init 10 (fun i ->
+          let f = [| "EX"; "EY"; "EZ"; "HX"; "HY" |].(i mod 5) in
+          Gen.boundary d ~name:(nm "pml_%02d" (i + 1)) ~out:f ~src:f
+            ~plane:(if i mod 2 = 0 then 0 else d.nz - 1)
+            ~block ())
+    @ List.init 5 (fun i ->
+          Gen.compute_bound d ~name:(nm "disp_%02d" (i + 1)) ~out:(nm "CB%02d" (i + 1))
+            ~src:[| "QA1"; "QB1"; "QC1"; "QA2"; "QB2" |].(i) ~block ())
+  in
+  assemble "B-CALM" "3D-FDTD electromagnetics with multi-pole dispersion" builts
+
+let all () =
+  [ scale_les (); homme (); fluam (); mitgcm (); awp_odc (); bcalm () ]
+
+let by_name name =
+  List.find_opt (fun a -> String.lowercase_ascii a.app_name = String.lowercase_ascii name) (all ())

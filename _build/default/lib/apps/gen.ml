@@ -1,0 +1,382 @@
+open Kft_cuda.Ast
+
+type dims = { nx : int; ny : int; nz : int }
+
+type built = {
+  kernel : kernel;
+  launch : launch;
+  arrays : array_decl list;
+}
+
+let arr3 d name = { a_name = name; a_elem_ty = Double; a_dims = [ d.nx; d.ny; d.nz ] }
+
+let arr1 n name = { a_name = name; a_elem_ty = Double; a_dims = [ n ] }
+
+(* shared index helpers: i/j are thread coordinates, k the vertical loop *)
+let vi = Var "i"
+let vj = Var "j"
+
+let plus a b =
+  match (a, b) with
+  | Int_lit 0, e | e, Int_lit 0 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x + y)
+  | a, Int_lit n when n < 0 -> Binop (Sub, a, Int_lit (-n))
+  | a, b -> Binop (Add, a, b)
+
+(* ((z * ny) + y) * nx + x with symbolic dims nx/ny *)
+let idx3 ~z ~y ~x = plus (Binop (Mul, plus (Binop (Mul, z, Var "ny")) y, Var "nx")) x
+
+let cell ?(off = (0, 0, 0)) ~k array =
+  let dx, dy, dz = off in
+  Index (array, [ idx3 ~z:(plus k (Int_lit dz)) ~y:(plus vj (Int_lit dy)) ~x:(plus vi (Int_lit dx)) ])
+
+let decl_ij =
+  [
+    Decl (Int, "i", Some (Binop (Add, Binop (Mul, Builtin (Block_idx X), Builtin (Block_dim X)), Builtin (Thread_idx X))));
+    Decl (Int, "j", Some (Binop (Add, Binop (Mul, Builtin (Block_idx Y), Builtin (Block_dim Y)), Builtin (Thread_idx Y))));
+  ]
+
+let guard ?width ~mx ~my () =
+  let x_upper =
+    match width with
+    | Some w -> Int_lit (w - mx)
+    | None -> Binop (Sub, Var "nx", Int_lit mx)
+  in
+  let cs =
+    (if mx > 0 then [ Binop (Ge, vi, Int_lit mx) ] else [])
+    @ [ Binop (Lt, vi, x_upper) ]
+    @ (if my > 0 then [ Binop (Ge, vj, Int_lit my) ] else [])
+    @ [ Binop (Lt, vj, Binop (Sub, Var "ny", Int_lit my)) ]
+  in
+  match cs with [] -> Int_lit 1 | c :: rest -> List.fold_left (fun a b -> Binop (And, a, b)) c rest
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter (fun x -> if Hashtbl.mem seen x then false else (Hashtbl.replace seen x (); true)) l
+
+(* an array appearing among both inputs and outputs is declared once,
+   writable (a kernel parameter list cannot name a pointer twice) *)
+let pure_ins ~ins ~outs = List.filter (fun a -> not (List.mem a outs)) (dedup ins)
+
+let params ~ins ~outs =
+  let outs = dedup outs in
+  List.map
+    (fun a -> Array_param { name = a; elem_ty = Double; quals = [ Const ] })
+    (pure_ins ~ins ~outs)
+  @ List.map (fun a -> Array_param { name = a; elem_ty = Double; quals = [] }) outs
+  @ [
+      Scalar_param { name = "nx"; ty = Int };
+      Scalar_param { name = "ny"; ty = Int };
+      Scalar_param { name = "nz"; ty = Int };
+      Scalar_param { name = "c"; ty = Double };
+    ]
+
+let args d ~ins ~outs ~coef =
+  List.map (fun a -> Arg_array a) (pure_ins ~ins ~outs @ dedup outs)
+  @ [ Arg_int d.nx; Arg_int d.ny; Arg_int d.nz; Arg_double coef ]
+
+let sum_exprs = function
+  | [] -> Double_lit 0.0
+  | e :: rest -> List.fold_left (fun a b -> Binop (Add, a, b)) e rest
+
+let max_offsets offs =
+  List.fold_left
+    (fun (mx, my, mz) (dx, dy, dz) -> (max mx (abs dx), max my (abs dy), max mz (abs dz)))
+    (0, 0, 0) offs
+
+let stencil d ?width ?extra_out ~name ~out ~ins ?(coef = 0.25) ?(block = (16, 8)) () =
+  let all_offs = List.concat_map snd ins in
+  let mx, my, mz = max_offsets all_offs in
+  let k = Var "k" in
+  let reads =
+    List.concat_map (fun (a, offs) -> List.map (fun off -> cell ~off ~k a) offs) ins
+  in
+  let stmts =
+    Assign (Lindex (out, [ idx3 ~z:k ~y:vj ~x:vi ]), Binop (Mul, Var "c", sum_exprs reads))
+    ::
+    (match extra_out with
+    | Some o ->
+        [
+          Assign
+            ( Lindex (o, [ idx3 ~z:k ~y:vj ~x:vi ]),
+              Binop (Mul, Binop (Mul, Var "c", Double_lit 0.5), sum_exprs (List.rev reads)) );
+        ]
+    | None -> [])
+  in
+  let body =
+    decl_ij
+    @ [
+        If
+          ( guard ?width ~mx ~my (),
+            [
+              For
+                {
+                  index = "k";
+                  lo = Int_lit mz;
+                  hi = Binop (Sub, Var "nz", Int_lit mz);
+                  step = 1;
+                  body = stmts;
+                };
+            ],
+            [] );
+      ]
+  in
+  let in_names = List.map fst ins in
+  let bx, by = block in
+  {
+    kernel =
+      {
+        k_name = name;
+        k_params = params ~ins:in_names ~outs:(out :: Option.to_list extra_out);
+        k_body = body;
+      };
+    launch =
+      {
+        l_kernel = name;
+        l_domain = ((match width with Some w -> w | None -> d.nx), d.ny, 1);
+        l_block = (bx, by, 1);
+        l_args = args d ~ins:in_names ~outs:(out :: Option.to_list extra_out) ~coef;
+      };
+    arrays = List.map (arr3 d) (in_names @ (out :: Option.to_list extra_out));
+  }
+
+let pointwise d ?width ~name ~out ~ins ?(coef = 0.5) ?(block = (16, 8)) () =
+  stencil d ?width ~name ~out ~ins:(List.map (fun a -> (a, [ (0, 0, 0) ])) ins) ~coef ~block ()
+
+let boundary d ~name ~out ~src ?(plane = 0) ?(block = (16, 8)) () =
+  let inner = if plane = 0 then 1 else plane - 1 in
+  let body =
+    decl_ij
+    @ [
+        If
+          ( Binop (And, Binop (Lt, vi, Var "nx"), Binop (Lt, vj, Var "ny")),
+            [
+              Assign
+                ( Lindex (out, [ idx3 ~z:(Int_lit plane) ~y:vj ~x:vi ]),
+                  Binop (Mul, Var "c", Index (src, [ idx3 ~z:(Int_lit inner) ~y:vj ~x:vi ])) );
+            ],
+            [] );
+      ]
+  in
+  let bx, by = block in
+  {
+    kernel = { k_name = name; k_params = params ~ins:[ src ] ~outs:[ out ]; k_body = body };
+    launch =
+      {
+        l_kernel = name;
+        l_domain = (d.nx, d.ny, 1);
+        l_block = (bx, by, 1);
+        l_args = args d ~ins:[ src ] ~outs:[ out ] ~coef:0.99;
+      };
+    arrays = [ arr3 d src; arr3 d out ];
+  }
+
+let compute_bound d ~name ~out ~src ?(terms = 32) ?(block = (16, 8)) () =
+  let k = Var "k" in
+  (* one load feeding many independent FMA chains: operational intensity
+     well above the Roofline ridge *)
+  let temps =
+    List.init terms (fun t ->
+        Decl
+          ( Double,
+            Printf.sprintf "t%d" t,
+            Some
+              (Binop
+                 ( Add,
+                   Binop (Mul, Var "x", Double_lit (1.0 +. (0.01 *. float_of_int t))),
+                   Double_lit (0.5 *. float_of_int t) )) ))
+  in
+  let total = sum_exprs (List.init terms (fun t -> Var (Printf.sprintf "t%d" t))) in
+  let body =
+    decl_ij
+    @ [
+        If
+          ( guard ~mx:0 ~my:0 (),
+            [
+              For
+                {
+                  index = "k";
+                  lo = Int_lit 0;
+                  hi = Var "nz";
+                  step = 1;
+                  body =
+                    (Decl (Double, "x", Some (cell ~k src)) :: temps)
+                    @ [ Assign (Lindex (out, [ idx3 ~z:k ~y:vj ~x:vi ]), Binop (Mul, Var "c", total)) ];
+                };
+            ],
+            [] );
+      ]
+  in
+  let bx, by = block in
+  {
+    kernel = { k_name = name; k_params = params ~ins:[ src ] ~outs:[ out ]; k_body = body };
+    launch =
+      {
+        l_kernel = name;
+        l_domain = (d.nx, d.ny, 1);
+        l_block = (bx, by, 1);
+        l_args = args d ~ins:[ src ] ~outs:[ out ] ~coef:0.001;
+      };
+    arrays = [ arr3 d src; arr3 d out ];
+  }
+
+let latency_bound ~cells ~name ~out ~src ?(hash_rounds = 28) () =
+  (* integer hash chain: serially dependent address computation, almost
+     no floating point -> low operational intensity, latency-limited *)
+  let body =
+    [
+      Decl (Int, "i", Some (Binop (Add, Binop (Mul, Builtin (Block_idx X), Builtin (Block_dim X)), Builtin (Thread_idx X))));
+      If
+        ( Binop (Lt, vi, Var "nx"),
+          [
+            Decl (Int, "h", Some vi);
+            For
+              {
+                index = "p";
+                lo = Int_lit 0;
+                hi = Int_lit hash_rounds;
+                step = 1;
+                body =
+                  [
+                    (* 7 dependent integer ops per round *)
+                    Assign (Lvar "h", Binop (Add, Binop (Mul, Var "h", Int_lit 1103515245), Int_lit 12345));
+                    Assign (Lvar "h", Binop (Mod, Var "h", Int_lit 1048576));
+                    Assign (Lvar "h", Binop (Add, Var "h", Binop (Div, Var "h", Int_lit 3)));
+                    Assign (Lvar "h", Binop (Mod, Var "h", Var "nx"));
+                  ];
+              };
+            (* the hash result perturbs the value, not the address, so the
+               access pattern stays canonical while the dependent integer
+               chain dominates the runtime *)
+            Assign
+              ( Lindex (out, [ vi ]),
+                Binop
+                  ( Add,
+                    Index (src, [ vi ]),
+                    Binop (Mul, Var "c", Binop (Mul, Var "h", Double_lit 1e-9)) ) );
+          ],
+          [] );
+    ]
+  in
+  let params =
+    [
+      Array_param { name = src; elem_ty = Double; quals = [ Const ] };
+      Array_param { name = out; elem_ty = Double; quals = [] };
+      Scalar_param { name = "nx"; ty = Int };
+      Scalar_param { name = "c"; ty = Double };
+    ]
+  in
+  {
+    kernel = { k_name = name; k_params = params; k_body = body };
+    launch =
+      {
+        l_kernel = name;
+        l_domain = (cells, 1, 1);
+        l_block = (32, 1, 1);
+        l_args = [ Arg_array src; Arg_array out; Arg_int cells; Arg_double 0.125 ];
+      };
+    arrays = [ arr1 cells src; arr1 cells out ];
+  }
+
+let deep_nest d ~name ~out ~band_in ~plane_ins ?(band = 3) ?(coef = 0.2) ?(block = (16, 8)) () =
+  let k = Var "k" in
+  let plane_reads = List.map (fun a -> cell ~k a) plane_ins in
+  let body =
+    decl_ij
+    @ [
+        If
+          ( guard ~mx:0 ~my:0 (),
+            [
+              For
+                {
+                  index = "k";
+                  lo = Int_lit 0;
+                  hi = Binop (Sub, Var "nz", Int_lit (band - 1));
+                  step = 1;
+                  body =
+                    [
+                      Decl (Double, "acc", Some (Double_lit 0.0));
+                      For
+                        {
+                          index = "m";
+                          lo = Int_lit 0;
+                          hi = Int_lit band;
+                          step = 1;
+                          body =
+                            [
+                              Assign
+                                ( Lvar "acc",
+                                  Binop
+                                    ( Add,
+                                      Var "acc",
+                                      Index
+                                        ( band_in,
+                                          [ idx3 ~z:(plus k (Var "m")) ~y:vj ~x:vi ] ) ) );
+                            ];
+                        };
+                      Assign
+                        ( Lindex (out, [ idx3 ~z:k ~y:vj ~x:vi ]),
+                          Binop (Mul, Var "c", Binop (Add, Var "acc", sum_exprs plane_reads)) );
+                    ];
+                };
+            ],
+            [] );
+      ]
+  in
+  let ins = band_in :: plane_ins in
+  let bx, by = block in
+  {
+    kernel = { k_name = name; k_params = params ~ins ~outs:[ out ]; k_body = body };
+    launch =
+      {
+        l_kernel = name;
+        l_domain = (d.nx, d.ny, 1);
+        l_block = (bx, by, 1);
+        l_args = args d ~ins ~outs:[ out ] ~coef;
+      };
+    arrays = List.map (arr3 d) (ins @ [ out ]);
+  }
+
+let multi_output d ?width ~name ~groups ?(coef = 0.3) ?(block = (32, 8)) () =
+  let all_offs = List.concat_map (fun (_, _, offs) -> offs) groups in
+  let mx, my, mz = max_offsets all_offs in
+  let k = Var "k" in
+  let stmts =
+    List.map
+      (fun (out, ins, offs) ->
+        let reads = List.concat_map (fun a -> List.map (fun off -> cell ~off ~k a) offs) ins in
+        Assign (Lindex (out, [ idx3 ~z:k ~y:vj ~x:vi ]), Binop (Mul, Var "c", sum_exprs reads)))
+      groups
+  in
+  let body =
+    decl_ij
+    @ [
+        If
+          ( guard ?width ~mx ~my (),
+            [
+              For
+                {
+                  index = "k";
+                  lo = Int_lit mz;
+                  hi = Binop (Sub, Var "nz", Int_lit mz);
+                  step = 1;
+                  body = stmts;
+                };
+            ],
+            [] );
+      ]
+  in
+  let ins = List.concat_map (fun (_, ins, _) -> ins) groups in
+  let outs = List.map (fun (o, _, _) -> o) groups in
+  let bx, by = block in
+  {
+    kernel = { k_name = name; k_params = params ~ins ~outs; k_body = body };
+    launch =
+      {
+        l_kernel = name;
+        l_domain = (d.nx, d.ny, 1);
+        l_block = (bx, by, 1);
+        l_args = args d ~ins ~outs ~coef;
+      };
+    arrays = List.map (arr3 d) (ins @ outs);
+  }

@@ -1,0 +1,117 @@
+(** Kernel-construction combinators for the synthetic evaluation
+    applications.
+
+    Each builder emits a kernel in the canonical form the paper's
+    frontend supports (2D horizontal grid mapping, vertical loop) plus
+    the launch record binding it to device arrays. The kernel kinds map
+    one-to-one onto the kernel populations described in Section 6.1.1:
+    interior stencil sweeps, pointwise updates, boundary-condition
+    kernels, compute-bound kernels, latency-bound kernels (integer
+    address-computation chains), deep loop nests (vertical bands), and
+    large "already-fused" kernels with separable array groups. *)
+
+type dims = { nx : int; ny : int; nz : int }
+
+type built = {
+  kernel : Kft_cuda.Ast.kernel;
+  launch : Kft_cuda.Ast.launch;
+  arrays : Kft_cuda.Ast.array_decl list;  (** arrays this kernel introduces (dedup upstream) *)
+}
+
+val arr3 : dims -> string -> Kft_cuda.Ast.array_decl
+(** 3D field sized to the grid. *)
+
+val arr1 : int -> string -> Kft_cuda.Ast.array_decl
+
+val stencil :
+  dims ->
+  ?width:int ->
+  ?extra_out:string ->
+  name:string ->
+  out:string ->
+  ins:(string * (int * int * int) list) list ->
+  ?coef:float ->
+  ?block:int * int ->
+  unit ->
+  built
+(** Interior stencil sweep: guard margins derived from the offsets, a
+    vertical loop, one output cell per thread. *)
+
+val pointwise :
+  dims ->
+  ?width:int ->
+  name:string ->
+  out:string ->
+  ins:string list ->
+  ?coef:float ->
+  ?block:int * int ->
+  unit ->
+  built
+(** Zero-radius update ([out = c * (in0 + in1 + ...)] per cell). *)
+
+val boundary :
+  dims ->
+  name:string ->
+  out:string ->
+  src:string ->
+  ?plane:int ->
+  ?block:int * int ->
+  unit ->
+  built
+(** Copies/damps one z-plane — the boundary-condition kernels the target
+    filter must exclude (coverage 1/nz). *)
+
+val compute_bound :
+  dims ->
+  name:string ->
+  out:string ->
+  src:string ->
+  ?terms:int ->
+  ?block:int * int ->
+  unit ->
+  built
+(** One load feeding many independent FMA chains per cell: operational
+    intensity above the Roofline ridge. [terms] controls FLOPs per cell
+    (default 32 ~ 96 flops vs 16 bytes, intensity 6). *)
+
+val latency_bound :
+  cells:int ->
+  name:string ->
+  out:string ->
+  src:string ->
+  ?hash_rounds:int ->
+  unit ->
+  built
+(** 1D kernel whose per-thread work is a long serially-dependent integer
+    hash chain (address computation), launched in one-warp blocks: low
+    operational intensity (looks memory-bound to the Roofline filter)
+    but limited by latency — the Fluam anomaly of Figure 8. *)
+
+val deep_nest :
+  dims ->
+  name:string ->
+  out:string ->
+  band_in:string ->
+  plane_ins:string list ->
+  ?band:int ->
+  ?coef:float ->
+  ?block:int * int ->
+  unit ->
+  built
+(** Vertical-band integration: an outer vertical loop with an inner loop
+    summing [band_in] over a z-band, combined with zero-radius reads of
+    [plane_ins]. Loop-nest depth 2: the kernels behind the SCALE-LES
+    auto-codegen gap (Figure 6). *)
+
+val multi_output :
+  dims ->
+  ?width:int ->
+  name:string ->
+  groups:(string * string list * (int * int * int) list) list ->
+  ?coef:float ->
+  ?block:int * int ->
+  unit ->
+  built
+(** Large "already-fused" kernel: each [(out, ins, offsets)] group is a
+    separable computation (disjoint arrays), so Algorithm 2 can fission
+    it — the AWP-ODC / B-CALM shape. *)

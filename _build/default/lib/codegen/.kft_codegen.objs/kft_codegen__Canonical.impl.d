@@ -1,0 +1,1 @@
+lib/codegen/canonical.ml: Hashtbl Kft_analysis Kft_cuda List Option Printf

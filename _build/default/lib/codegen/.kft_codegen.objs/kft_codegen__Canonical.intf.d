@@ -1,0 +1,1 @@
+lib/codegen/canonical.mli: Kft_cuda

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Canonical Fusion Hashtbl Kft_analysis Kft_cuda Kft_device List Printf Result

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Fusion Kft_cuda Kft_device

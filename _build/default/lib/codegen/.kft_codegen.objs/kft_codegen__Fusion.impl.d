@@ -1,0 +1,1 @@
+lib/codegen/fusion.ml: Canonical Hashtbl Kft_cuda Kft_device List Option Printf Result

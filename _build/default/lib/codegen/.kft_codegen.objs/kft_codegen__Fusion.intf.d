@@ -1,0 +1,1 @@
+lib/codegen/fusion.mli: Canonical Kft_cuda Kft_device

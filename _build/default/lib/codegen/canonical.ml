@@ -1,0 +1,385 @@
+open Kft_cuda.Ast
+module Access = Kft_analysis.Access
+
+type member = {
+  m_name : string;
+  m_index : int;
+  m_launch : launch;
+  m_guard : expr option;
+  m_kloop : (int * int) option;
+  m_body : stmt list;
+  m_domain : int * int * int;
+  m_nest_depth : int;
+  m_reads : (string * (int * int * int) list) list;
+  m_writes : (string * (int * int * int) list) list;
+  m_double_args : (string * float) list;
+  m_arrays : (string * array_decl) list;
+}
+
+exception Not_canonical of string
+
+let gi_var = "gi"
+let gj_var = "gj"
+let kv_var = "kv"
+
+let wild_offset = 9999
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_canonical s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expression building helpers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let add a b =
+  match (a, b) with
+  | Int_lit 0, e | e, Int_lit 0 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x + y)
+  | e, Int_lit n when n < 0 -> Binop (Sub, e, Int_lit (-n))
+  | a, b -> Binop (Add, a, b)
+
+let mul c e =
+  match (c, e) with
+  | 0, _ -> Int_lit 0
+  | 1, e -> e
+  | c, Int_lit n -> Int_lit (c * n)
+  | c, e -> Binop (Mul, Int_lit c, e)
+
+let sum_terms terms const = List.fold_left add (Int_lit const) terms
+
+let dims3 = function
+  | [ nx ] -> (nx, 1, 1)
+  | [ nx; ny ] -> (nx, ny, 1)
+  | [ nx; ny; nz ] -> (nx, ny, nz)
+  | dims -> fail "array with %d dimensions is not supported" (List.length dims)
+
+let linear_index (decl : array_decl) ~x ~y ~z =
+  let nx, ny, nz = dims3 decl.a_dims in
+  let base =
+    match z with
+    | Some z when nz > 1 -> add (mul ny z) y
+    | _ -> y
+  in
+  if ny > 1 || nz > 1 then add (mul nx base) x else x
+
+(* ------------------------------------------------------------------ *)
+(* Offset decomposition                                                *)
+(* ------------------------------------------------------------------ *)
+
+let div_nearest a b =
+  if b = 0 then 0
+  else if a >= 0 then (a + (b / 2)) / b
+  else -((-a + (b / 2)) / b)
+
+let decompose ~nx ~ny ~nz d =
+  let sz = nx * ny and sy = nx in
+  let dz = if nz > 1 then div_nearest d sz else 0 in
+  let r = d - (dz * sz) in
+  let dy = if ny > 1 then div_nearest r sy else 0 in
+  let dx = r - (dy * sy) in
+  (dx, dy, dz)
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  env : Access.launch_env;
+  prog : program;
+  rename : (string, string) Hashtbl.t;
+  kloop_var : string option;
+  reads_acc : (string, (int * int * int) list) Hashtbl.t;
+  writes_acc : (string, (int * int * int) list) Hashtbl.t;
+}
+
+let renamed ctx v = match Hashtbl.find_opt ctx.rename v with Some v' -> v' | None -> v
+
+let record tbl host off =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt tbl host) in
+  if not (List.mem off cur) then Hashtbl.replace tbl host (off :: cur)
+
+let var_of_coeff ctx name =
+  match name with
+  | "gx" -> Var gi_var
+  | "gy" -> Var gj_var
+  | "gz" -> fail "accesses indexed by a z thread coordinate are not canonical"
+  | v -> Var (renamed ctx v)
+
+(* canonical rewrite of one global-array index expression *)
+let canon_index ctx ~scope ~param idx =
+  let host =
+    match List.assoc_opt param ctx.env.param_binding with
+    | Some h -> h
+    | None -> fail "array parameter %s is not bound to a device array" param
+  in
+  let decl = find_array ctx.prog host in
+  let nx, ny, nz = dims3 decl.a_dims in
+  let sx = 1 and sy = nx and sz = nx * ny in
+  match Access.affine_of_expr ctx.env ~loops:scope idx with
+  | None -> fail "non-affine index for array %s" host
+  | Some (coeffs, const) ->
+      let xs = ref [] and ys = ref [] and zs = ref [] in
+      List.iter
+        (fun (name, c) ->
+          let v = var_of_coeff ctx name in
+          if nz > 1 && c = sz then zs := v :: !zs
+          else if ny > 1 && c = sy then ys := v :: !ys
+          else if c = sx then xs := v :: !xs
+          else fail "stride %d of %s in array %s does not match any dimension" c name host)
+        coeffs;
+      let dx, dy, dz = decompose ~nx ~ny ~nz const in
+      if dx + (dy * sy) + (dz * sz) <> const then fail "offset decomposition failed for %s" host;
+      let x = sum_terms !xs dx and y = sum_terms !ys dy in
+      let z = if nz > 1 then Some (sum_terms !zs dz) else None in
+      (* bookkeeping: an access swept by a loop variable other than the
+         canonical coordinate is not a fixed stencil offset — record the
+         wild sentinel so the fusion feasibility rules treat it as
+         reaching arbitrarily far along that dimension *)
+      let wild terms allowed d =
+        if List.for_all (fun t -> t = allowed) terms then d else wild_offset
+      in
+      let dx = wild !xs (Var gi_var) dx
+      and dy = wild !ys (Var gj_var) dy
+      and dz = wild !zs (Var kv_var) dz in
+      (host, (dx, dy, dz), linear_index decl ~x ~y ~z)
+
+let affine_side ctx ~scope e =
+  match Access.affine_of_expr ctx.env ~loops:scope e with
+  | Some (coeffs, const) ->
+      Some (sum_terms (List.map (fun (n, c) -> mul c (var_of_coeff ctx n)) coeffs) const)
+  | None -> None
+
+(* top-down expression rewrite: global indices become canonical, scalar
+   names are renamed, comparisons over affine-int sides are rebuilt *)
+let rec rw_expr ctx ~scope e =
+  match e with
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), l, r) -> (
+      match (affine_side ctx ~scope l, affine_side ctx ~scope r) with
+      | Some l', Some r' -> Binop (op, l', r')
+      | _ -> Binop (op, rw_expr ctx ~scope l, rw_expr ctx ~scope r))
+  | Binop (op, a, b) -> Binop (op, rw_expr ctx ~scope a, rw_expr ctx ~scope b)
+  | Unop (op, a) -> Unop (op, rw_expr ctx ~scope a)
+  | Index (param, [ idx ]) ->
+      let host, off, canon = canon_index ctx ~scope ~param idx in
+      record ctx.reads_acc host off;
+      Index (host, [ canon ])
+  | Index (a, _) -> fail "multi-dimensional index on global array %s" a
+  | Call (f, args) -> Call (f, List.map (rw_expr ctx ~scope) args)
+  | Ternary (c, a, b) -> Ternary (rw_expr ctx ~scope c, rw_expr ctx ~scope a, rw_expr ctx ~scope b)
+  | Var v -> Var (renamed ctx v)
+  | Int_lit _ | Double_lit _ -> e
+  | Builtin _ -> (
+      (* a bare thread coordinate in a value position: rebuild as affine *)
+      match affine_side ctx ~scope e with
+      | Some e' -> e'
+      | None -> fail "thread builtin in unsupported position")
+
+let rec rw_stmts ctx ~scope stmts = List.map (rw_stmt ctx ~scope) stmts
+
+and rw_stmt ctx ~scope s =
+  match s with
+  | Decl (ty, v, init) -> Decl (ty, renamed ctx v, Option.map (rw_expr ctx ~scope) init)
+  | Assign (Lvar v, e) -> Assign (Lvar (renamed ctx v), rw_expr ctx ~scope e)
+  | Assign (Lindex (param, [ idx ]), e) ->
+      let host, off, canon = canon_index ctx ~scope ~param idx in
+      record ctx.writes_acc host off;
+      Assign (Lindex (host, [ canon ]), rw_expr ctx ~scope e)
+  | Assign (Lindex (a, _), _) -> fail "multi-dimensional write to global array %s" a
+  | If (c, t, e) -> If (rw_expr ctx ~scope c, rw_stmts ctx ~scope t, rw_stmts ctx ~scope e)
+  | For l ->
+      let lo =
+        match affine_side ctx ~scope l.lo with Some e -> e | None -> rw_expr ctx ~scope l.lo
+      in
+      let hi =
+        match affine_side ctx ~scope l.hi with Some e -> e | None -> rw_expr ctx ~scope l.hi
+      in
+      For
+        {
+          index = renamed ctx l.index;
+          lo;
+          hi;
+          step = l.step;
+          body = rw_stmts ctx ~scope:(scope @ [ l.index ]) l.body;
+        }
+  | Shared_decl (_, n, _) -> fail "kernel already uses shared memory (%s); not fusable" n
+  | Syncthreads -> fail "kernel already contains __syncthreads; not fusable"
+  | Return -> fail "return statements are not canonical (use a guard)"
+
+let max_depth body =
+  let rec go depth stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | For l -> max acc (go (depth + 1) l.body)
+        | If (_, t, e) -> max acc (max (go depth t) (go depth e))
+        | _ -> acc)
+      depth stmts
+  in
+  go 0 body
+
+let collect_locals body =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec go stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Decl (_, v, _) -> add v
+        | For l ->
+            add l.index;
+            go l.body
+        | If (_, t, e) ->
+            go t;
+            go e
+        | Assign (Lvar v, _) -> add v
+        | _ -> ())
+      stmts
+  in
+  go body;
+  List.rev !acc
+
+let const_eval e =
+  let probe = { Access.thread = (0, 0, 0); block_idx = (0, 0, 0); bindings = [] } in
+  match Access.eval_int probe e with
+  | v -> v
+  | exception Access.Not_integer m -> fail "loop bound is not a launch constant: %s" m
+
+let extract ~deep ~index prog (l : launch) =
+  let kernel = find_kernel prog l.l_kernel in
+  let env = Access.env_of_launch prog l in
+  let body = Access.specialize env kernel in
+  let nest_depth = max_depth body in
+  (* split: leading double declarations, optional guard, content *)
+  let rec split_decls acc = function
+    | (Decl (Double, _, _) as d) :: rest -> split_decls (d :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let lead_decls, content = split_decls [] body in
+  let guard, content =
+    match content with
+    | [ If (g, inner, []) ] -> (Some g, inner)
+    | other -> (None, other)
+  in
+  let kloop, kloop_var, content =
+    match content with
+    | [ For fl ] when nest_depth < 2 || deep = `Inner_shared ->
+        if fl.step <> 1 then fail "vertical loop with step %d is not canonical" fl.step;
+        (Some (const_eval fl.lo, const_eval fl.hi), Some fl.index, fl.body)
+    | other -> (None, None, other)
+  in
+  let suffix = Printf.sprintf "__m%d" (index + 1) in
+  let rename = Hashtbl.create 16 in
+  (match kloop_var with Some v -> Hashtbl.replace rename v kv_var | None -> ());
+  List.iter
+    (fun v -> if Some v <> kloop_var then Hashtbl.replace rename v (v ^ suffix))
+    (collect_locals (lead_decls @ content));
+  (* double scalar parameters *)
+  let binding = bind_args kernel l.l_args in
+  let double_args =
+    List.filter_map
+      (function
+        | name, Arg_double v ->
+            Hashtbl.replace rename name (name ^ suffix);
+            Some (name ^ suffix, v)
+        | _ -> None)
+      binding
+  in
+  let ctx =
+    {
+      env;
+      prog;
+      rename;
+      kloop_var;
+      reads_acc = Hashtbl.create 16;
+      writes_acc = Hashtbl.create 16;
+    }
+  in
+  let base_scope = match kloop_var with Some v -> [ v ] | None -> [] in
+  let guard' = Option.map (rw_expr ctx ~scope:[]) guard in
+  let lead' = rw_stmts ctx ~scope:[] lead_decls in
+  let content' = rw_stmts ctx ~scope:base_scope content in
+  let to_list tbl = Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) tbl [] |> List.sort compare in
+  let m_arrays =
+    List.map (fun (_, host) -> (host, find_array prog host)) env.param_binding
+    |> List.sort_uniq compare
+  in
+  {
+    m_name = kernel.k_name;
+    m_index = index;
+    m_launch = l;
+    m_guard = guard';
+    m_kloop = kloop;
+    m_body = lead' @ content';
+    m_domain = l.l_domain;
+    m_nest_depth = nest_depth;
+    m_reads = to_list ctx.reads_acc;
+    m_writes = to_list ctx.writes_acc;
+    m_double_args = double_args;
+    m_arrays;
+  }
+
+(* numeric evaluation of a pure integer expression over Var bindings *)
+let rec eval_pure bind e =
+  let ( let* ) = Option.bind in
+  match e with
+  | Int_lit i -> Some i
+  | Var v -> bind v
+  | Binop (op, a, b) -> (
+      let* va = eval_pure bind a in
+      let* vb = eval_pure bind b in
+      match op with
+      | Add -> Some (va + vb)
+      | Sub -> Some (va - vb)
+      | Mul -> Some (va * vb)
+      | Div -> if vb = 0 then None else Some (va / vb)
+      | Mod -> if vb = 0 then None else Some (va mod vb)
+      | Lt -> Some (if va < vb then 1 else 0)
+      | Le -> Some (if va <= vb then 1 else 0)
+      | Gt -> Some (if va > vb then 1 else 0)
+      | Ge -> Some (if va >= vb then 1 else 0)
+      | Eq -> Some (if va = vb then 1 else 0)
+      | Ne -> Some (if va <> vb then 1 else 0)
+      | And -> Some (if va <> 0 && vb <> 0 then 1 else 0)
+      | Or -> Some (if va <> 0 || vb <> 0 then 1 else 0))
+  | Unop (Neg, a) -> Option.map (fun v -> -v) (eval_pure bind a)
+  | Unop (Not, a) -> Option.map (fun v -> if v = 0 then 1 else 0) (eval_pure bind a)
+  | Ternary (c, a, b) -> (
+      let* vc = eval_pure bind c in
+      if vc <> 0 then eval_pure bind a else eval_pure bind b)
+  | Double_lit _ | Builtin _ | Index _ | Call _ -> None
+
+let affine_over ~vars e =
+  let ( let* ) = Option.bind in
+  let eval assign = eval_pure (fun v -> List.assoc_opt v assign) e in
+  let zeros = List.map (fun v -> (v, 0)) vars in
+  let* f0 = eval zeros in
+  let rec coeffs acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest ->
+        let displaced d = List.map (fun (x, b) -> (x, if x = v then b + d else b)) zeros in
+        let* f1 = eval (displaced 1) in
+        let* f2 = eval (displaced 2) in
+        let c = f1 - f0 in
+        if f2 - f0 <> 2 * c then None
+        else coeffs (if c = 0 then acc else (v, c) :: acc) rest
+  in
+  let* cs = coeffs [] vars in
+  (* one pairwise cross-check *)
+  match cs with
+  | (v1, c1) :: (v2, c2) :: _ ->
+      let assign =
+        List.map (fun (x, _) -> (x, if x = v1 || x = v2 then 1 else 0)) zeros
+      in
+      let* fp = eval assign in
+      if fp - f0 <> c1 + c2 then None else Some (cs, f0)
+  | _ -> Some (cs, f0)
+
+let reads_of m host = Option.value ~default:[] (List.assoc_opt host m.m_reads)
+
+let writes_of m host = Option.value ~default:[] (List.assoc_opt host m.m_writes)
+
+let touched_arrays m =
+  let names = List.map fst m.m_reads @ List.map fst m.m_writes in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n -> if Hashtbl.mem seen n then false else (Hashtbl.replace seen n (); true))
+    names

@@ -1,0 +1,1 @@
+lib/cuda/ast.ml: Hashtbl List Option Printf

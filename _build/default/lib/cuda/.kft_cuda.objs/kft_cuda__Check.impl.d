@@ -1,0 +1,1 @@
+lib/cuda/check.ml: Ast Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/cuda/check.mli: Ast

@@ -1,0 +1,1 @@
+lib/cuda/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/cuda/parse.ml: Ast Lexer List Option Printf

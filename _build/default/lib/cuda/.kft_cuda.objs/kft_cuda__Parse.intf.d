@@ -1,0 +1,1 @@
+lib/cuda/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/cuda/pp.ml: Ast Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/cuda/pp.mli: Ast

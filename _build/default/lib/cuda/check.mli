@@ -1,0 +1,36 @@
+(** Semantic validation of kernels and programs.
+
+    The parser accepts anything syntactically in the subset; this module
+    performs the frontend's semantic checks before a program enters the
+    transformation pipeline: identifier resolution, duplicate
+    declarations, arity and binding of launches, and the structural
+    restrictions the paper places on supported kernels (no barrier under
+    a thread-dependent conditional is checked dynamically by the
+    simulator; everything statically checkable is here). *)
+
+type error = {
+  where : string;  (** kernel or launch the error was found in *)
+  what : string;
+}
+
+val pp_error : error -> string
+
+val kernel : Ast.kernel -> error list
+(** Checks on one kernel:
+    - every identifier is a parameter, a declared local, a loop index or
+      a shared array;
+    - no identifier is declared twice in the same scope chain;
+    - scalars are not indexed and arrays are not used as scalars;
+    - shared arrays are indexed with exactly their declared rank and
+      global (pointer-parameter) arrays with a single linear index;
+    - array parameters declared [const] are never written;
+    - [__shared__] declarations have positive extents. *)
+
+val program : Ast.program -> error list
+(** All kernel checks, plus:
+    - kernel names are unique and arrays are declared once;
+    - every launch names a defined kernel with matching arity;
+    - array arguments are declared device arrays and scalar arguments
+      match the parameter's type;
+    - launch domains and blocks are positive and blocks respect a
+      1024-thread ceiling. *)

@@ -1,0 +1,178 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW_GLOBAL
+  | KW_SHARED
+  | KW_RESTRICT
+  | KW_SYNCTHREADS
+  | KW_VOID
+  | KW_INT
+  | KW_DOUBLE
+  | KW_BOOL
+  | KW_CONST
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | COMMA | SEMI | QUESTION | COLON | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NE | AMPAMP | BARBAR | BANG
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | PLUSPLUS
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+let keyword_table =
+  [
+    ("__global__", KW_GLOBAL);
+    ("__shared__", KW_SHARED);
+    ("__restrict__", KW_RESTRICT);
+    ("__syncthreads", KW_SYNCTHREADS);
+    ("void", KW_VOID);
+    ("int", KW_INT);
+    ("double", KW_DOUBLE);
+    ("float", KW_DOUBLE); (* floats are widened: the subset is double-precision *)
+    ("bool", KW_BOOL);
+    ("const", KW_CONST);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("for", KW_FOR);
+    ("return", KW_RETURN);
+  ]
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | KW_GLOBAL -> "__global__"
+  | KW_SHARED -> "__shared__"
+  | KW_RESTRICT -> "__restrict__"
+  | KW_SYNCTHREADS -> "__syncthreads"
+  | KW_VOID -> "void"
+  | KW_INT -> "int"
+  | KW_DOUBLE -> "double"
+  | KW_BOOL -> "bool"
+  | KW_CONST -> "const"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACK -> "[" | RBRACK -> "]"
+  | COMMA -> "," | SEMI -> ";" | QUESTION -> "?" | COLON -> ":" | DOT -> "."
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NE -> "!="
+  | AMPAMP -> "&&" | BARBAR -> "||" | BANG -> "!"
+  | ASSIGN -> "=" | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-=" | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/=" | PLUSPLUS -> "++"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let error i msg = raise (Lex_error { line = !line; col = i - !line_start + 1; message = msg }) in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let peek k = if !i + k < n then Some src.[!i + k] else None in
+    match c with
+    | '\n' ->
+        incr line;
+        incr i;
+        line_start := !i
+    | ' ' | '\t' | '\r' -> incr i
+    | '/' when peek 1 = Some '/' ->
+        while !i < n && src.[!i] <> '\n' do incr i done
+    | '/' when peek 1 = Some '*' ->
+        i := !i + 2;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if src.[!i] = '\n' then begin incr line; line_start := !i + 1 end;
+          if src.[!i] = '*' && peek 1 = Some '/' then begin
+            closed := true;
+            i := !i + 2
+          end
+          else incr i
+        done;
+        if not !closed then error !i "unterminated comment"
+    | c when is_ident_start c ->
+        let start = !i in
+        while !i < n && is_ident_char src.[!i] do incr i done;
+        let word = String.sub src start (!i - start) in
+        (match List.assoc_opt word keyword_table with
+        | Some kw -> emit kw
+        | None -> emit (IDENT word))
+    | c when is_digit c ->
+        let start = !i in
+        while !i < n && is_digit src.[!i] do incr i done;
+        let is_float = ref false in
+        if !i < n && src.[!i] = '.' then begin
+          is_float := true;
+          incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          is_float := true;
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        (* C float suffixes *)
+        if !i < n && (src.[!i] = 'f' || src.[!i] = 'F') then begin
+          is_float := true;
+          incr i
+        end;
+        let text = String.sub src start (!i - start) in
+        let text =
+          if String.length text > 0 && (text.[String.length text - 1] = 'f' || text.[String.length text - 1] = 'F')
+          then String.sub text 0 (String.length text - 1)
+          else text
+        in
+        if !is_float then emit (FLOAT (float_of_string text)) else emit (INT (int_of_string text))
+    | '(' -> emit LPAREN; incr i
+    | ')' -> emit RPAREN; incr i
+    | '{' -> emit LBRACE; incr i
+    | '}' -> emit RBRACE; incr i
+    | '[' -> emit LBRACK; incr i
+    | ']' -> emit RBRACK; incr i
+    | ',' -> emit COMMA; incr i
+    | ';' -> emit SEMI; incr i
+    | '?' -> emit QUESTION; incr i
+    | ':' -> emit COLON; incr i
+    | '.' -> emit DOT; incr i
+    | '+' when peek 1 = Some '+' -> emit PLUSPLUS; i := !i + 2
+    | '+' when peek 1 = Some '=' -> emit PLUS_ASSIGN; i := !i + 2
+    | '+' -> emit PLUS; incr i
+    | '-' when peek 1 = Some '=' -> emit MINUS_ASSIGN; i := !i + 2
+    | '-' -> emit MINUS; incr i
+    | '*' when peek 1 = Some '=' -> emit STAR_ASSIGN; i := !i + 2
+    | '*' -> emit STAR; incr i
+    | '/' when peek 1 = Some '=' -> emit SLASH_ASSIGN; i := !i + 2
+    | '/' -> emit SLASH; incr i
+    | '%' -> emit PERCENT; incr i
+    | '<' when peek 1 = Some '=' -> emit LE; i := !i + 2
+    | '<' -> emit LT; incr i
+    | '>' when peek 1 = Some '=' -> emit GE; i := !i + 2
+    | '>' -> emit GT; incr i
+    | '=' when peek 1 = Some '=' -> emit EQEQ; i := !i + 2
+    | '=' -> emit ASSIGN; incr i
+    | '!' when peek 1 = Some '=' -> emit NE; i := !i + 2
+    | '!' -> emit BANG; incr i
+    | '&' when peek 1 = Some '&' -> emit AMPAMP; i := !i + 2
+    | '|' when peek 1 = Some '|' -> emit BARBAR; i := !i + 2
+    | c -> error !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit EOF;
+  List.rev !toks

@@ -1,0 +1,35 @@
+(** Hand-written lexer for the CUDA C subset. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW_GLOBAL  (** [__global__] *)
+  | KW_SHARED  (** [__shared__] *)
+  | KW_RESTRICT
+  | KW_SYNCTHREADS
+  | KW_VOID
+  | KW_INT
+  | KW_DOUBLE
+  | KW_BOOL
+  | KW_CONST
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | COMMA | SEMI | QUESTION | COLON | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQEQ | NE | AMPAMP | BARBAR | BANG
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | PLUSPLUS
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers; comments ([//] and
+    [/* */]) and whitespace are skipped. Ends with [(EOF, line)].
+    Raises {!Lex_error} on an unexpected character. *)

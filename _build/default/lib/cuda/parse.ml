@@ -1,0 +1,446 @@
+open Ast
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let fail st message = raise (Parse_error { line = line st; message })
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Printf.sprintf "expected identifier but found %s" (Lexer.token_to_string t))
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      i
+  | t -> fail st (Printf.sprintf "expected integer literal but found %s" (Lexer.token_to_string t))
+
+let scalar_ty_of_token = function
+  | Lexer.KW_INT -> Some Int
+  | Lexer.KW_DOUBLE -> Some Double
+  | Lexer.KW_BOOL -> Some Bool
+  | _ -> None
+
+let dim_of_string st = function
+  | "x" -> X
+  | "y" -> Y
+  | "z" -> Z
+  | s -> fail st (Printf.sprintf "expected dimension x, y or z but found %S" s)
+
+let builtin_base = function
+  | "threadIdx" -> Some (fun d -> Thread_idx d)
+  | "blockIdx" -> Some (fun d -> Block_idx d)
+  | "blockDim" -> Some (fun d -> Block_dim d)
+  | "gridDim" -> Some (fun d -> Grid_dim d)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_or st in
+  if peek st = Lexer.QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    expect st Lexer.COLON;
+    let b = parse_ternary st in
+    Ternary (c, a, b)
+  end
+  else c
+
+and parse_or st =
+  let rec loop acc =
+    if peek st = Lexer.BARBAR then begin
+      advance st;
+      loop (Binop (Or, acc, parse_and st))
+    end
+    else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if peek st = Lexer.AMPAMP then begin
+      advance st;
+      loop (Binop (And, acc, parse_equality st))
+    end
+    else acc
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.EQEQ ->
+        advance st;
+        loop (Binop (Eq, acc, parse_relational st))
+    | Lexer.NE ->
+        advance st;
+        loop (Binop (Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.LT -> advance st; loop (Binop (Lt, acc, parse_additive st))
+    | Lexer.LE -> advance st; loop (Binop (Le, acc, parse_additive st))
+    | Lexer.GT -> advance st; loop (Binop (Gt, acc, parse_additive st))
+    | Lexer.GE -> advance st; loop (Binop (Ge, acc, parse_additive st))
+    | _ -> acc
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Binop (Add, acc, parse_multiplicative st))
+    | Lexer.MINUS -> advance st; loop (Binop (Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (Binop (Mul, acc, parse_unary st))
+    | Lexer.SLASH -> advance st; loop (Binop (Div, acc, parse_unary st))
+    | Lexer.PERCENT -> advance st; loop (Binop (Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS -> (
+      advance st;
+      (* fold negated literals so printed negative constants re-parse to
+         the same tree *)
+      match parse_unary st with
+      | Int_lit n -> Int_lit (-n)
+      | Double_lit f -> Double_lit (-.f)
+      | e -> Unop (Neg, e))
+  | Lexer.BANG ->
+      advance st;
+      Unop (Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Int_lit i
+  | Lexer.FLOAT f ->
+      advance st;
+      Double_lit f
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      advance st;
+      match builtin_base name with
+      | Some mk when peek st = Lexer.DOT ->
+          advance st;
+          let d = dim_of_string st (expect_ident st) in
+          Builtin (mk d)
+      | _ ->
+          if peek st = Lexer.LPAREN then begin
+            advance st;
+            let args = parse_args st in
+            expect st Lexer.RPAREN;
+            Call (name, args)
+          end
+          else begin
+            let idxs = parse_indices st in
+            if idxs = [] then Var name else Index (name, idxs)
+          end)
+  | t -> fail st (Printf.sprintf "expected expression but found %s" (Lexer.token_to_string t))
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+
+and parse_indices st =
+  let rec loop acc =
+    if peek st = Lexer.LBRACK then begin
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RBRACK;
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let desugar_compound lv op rhs =
+  let as_expr = match lv with Lvar v -> Var v | Lindex (a, idxs) -> Index (a, idxs) in
+  Assign (lv, Binop (op, as_expr, rhs))
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.KW_SHARED ->
+      advance st;
+      let ty =
+        match scalar_ty_of_token (peek st) with
+        | Some ty ->
+            advance st;
+            ty
+        | None -> fail st "expected element type after __shared__"
+      in
+      let name = expect_ident st in
+      let rec dims acc =
+        if peek st = Lexer.LBRACK then begin
+          advance st;
+          let d = expect_int st in
+          expect st Lexer.RBRACK;
+          dims (d :: acc)
+        end
+        else List.rev acc
+      in
+      let ds = dims [] in
+      if ds = [] then fail st "__shared__ declaration requires constant array extents";
+      expect st Lexer.SEMI;
+      Shared_decl (ty, name, ds)
+  | Lexer.KW_INT | Lexer.KW_DOUBLE | Lexer.KW_BOOL ->
+      let ty = Option.get (scalar_ty_of_token (peek st)) in
+      advance st;
+      let name = expect_ident st in
+      let init =
+        if peek st = Lexer.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Lexer.SEMI;
+      Decl (ty, name, init)
+  | Lexer.KW_SYNCTHREADS ->
+      advance st;
+      expect st Lexer.LPAREN;
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Syncthreads
+  | Lexer.KW_RETURN ->
+      advance st;
+      expect st Lexer.SEMI;
+      Return
+  | Lexer.KW_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_branch = parse_block_or_stmt st in
+      let else_branch =
+        if peek st = Lexer.KW_ELSE then begin
+          advance st;
+          parse_block_or_stmt st
+        end
+        else []
+      in
+      If (c, then_branch, else_branch)
+  | Lexer.KW_FOR ->
+      advance st;
+      expect st Lexer.LPAREN;
+      expect st Lexer.KW_INT;
+      let index = expect_ident st in
+      expect st Lexer.ASSIGN;
+      let lo = parse_expr st in
+      expect st Lexer.SEMI;
+      let cond_var = expect_ident st in
+      if cond_var <> index then
+        fail st
+          (Printf.sprintf "for-loop condition must test the loop index %S, found %S" index cond_var);
+      expect st Lexer.LT;
+      let hi = parse_expr st in
+      expect st Lexer.SEMI;
+      let update_var = expect_ident st in
+      if update_var <> index then
+        fail st
+          (Printf.sprintf "for-loop update must modify the loop index %S, found %S" index update_var);
+      let step =
+        match peek st with
+        | Lexer.PLUSPLUS ->
+            advance st;
+            1
+        | Lexer.PLUS_ASSIGN ->
+            advance st;
+            expect_int st
+        | t -> fail st (Printf.sprintf "expected ++ or += in for-loop update, found %s" (Lexer.token_to_string t))
+      in
+      expect st Lexer.RPAREN;
+      let body = parse_block_or_stmt st in
+      For { index; lo; hi; step; body }
+  | Lexer.IDENT _ ->
+      let name = expect_ident st in
+      let idxs = parse_indices st in
+      let lv = if idxs = [] then Lvar name else Lindex (name, idxs) in
+      let s =
+        match peek st with
+        | Lexer.ASSIGN ->
+            advance st;
+            Assign (lv, parse_expr st)
+        | Lexer.PLUS_ASSIGN ->
+            advance st;
+            desugar_compound lv Add (parse_expr st)
+        | Lexer.MINUS_ASSIGN ->
+            advance st;
+            desugar_compound lv Sub (parse_expr st)
+        | Lexer.STAR_ASSIGN ->
+            advance st;
+            desugar_compound lv Mul (parse_expr st)
+        | Lexer.SLASH_ASSIGN ->
+            advance st;
+            desugar_compound lv Div (parse_expr st)
+        | t -> fail st (Printf.sprintf "expected assignment operator, found %s" (Lexer.token_to_string t))
+      in
+      expect st Lexer.SEMI;
+      s
+  | t -> fail st (Printf.sprintf "expected statement but found %s" (Lexer.token_to_string t))
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else if peek st = Lexer.SEMI then begin
+      (* stray empty statement *)
+      advance st;
+      loop acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt st =
+  if peek st = Lexer.LBRACE then parse_block st else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_param st =
+  let const = peek st = Lexer.KW_CONST in
+  if const then advance st;
+  let ty =
+    match scalar_ty_of_token (peek st) with
+    | Some ty ->
+        advance st;
+        ty
+    | None -> fail st "expected parameter type"
+  in
+  if peek st = Lexer.STAR then begin
+    advance st;
+    let restrict = peek st = Lexer.KW_RESTRICT in
+    if restrict then advance st;
+    let name = expect_ident st in
+    let quals = (if const then [ Const ] else []) @ if restrict then [ Restrict ] else [] in
+    Array_param { name; elem_ty = ty; quals }
+  end
+  else begin
+    if const then fail st "const scalar parameters are not supported";
+    let name = expect_ident st in
+    Scalar_param { name; ty }
+  end
+
+let parse_kernel st =
+  expect st Lexer.KW_GLOBAL;
+  expect st Lexer.KW_VOID;
+  let k_name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    if peek st = Lexer.RPAREN then []
+    else
+      let rec loop acc =
+        let p = parse_param st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          loop (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      loop []
+  in
+  expect st Lexer.RPAREN;
+  let k_body = parse_block st in
+  { k_name; k_params = params; k_body }
+
+let with_state src f =
+  match Lexer.tokenize src with
+  | toks -> f { toks }
+  | exception Lexer.Lex_error { line; message; _ } -> raise (Parse_error { line; message })
+
+let kernels src =
+  with_state src (fun st ->
+      let rec loop acc =
+        if peek st = Lexer.EOF then List.rev acc else loop (parse_kernel st :: acc)
+      in
+      loop [])
+
+let kernel src =
+  match kernels src with
+  | [ k ] -> k
+  | ks ->
+      raise
+        (Parse_error
+           { line = 1; message = Printf.sprintf "expected exactly one kernel, found %d" (List.length ks) })
+
+let expr src =
+  with_state src (fun st ->
+      let e = parse_expr st in
+      expect st Lexer.EOF;
+      e)
+
+let stmts src =
+  with_state src (fun st ->
+      let rec loop acc =
+        if peek st = Lexer.EOF then List.rev acc
+        else if peek st = Lexer.SEMI then begin
+          advance st;
+          loop acc
+        end
+        else loop (parse_stmt st :: acc)
+      in
+      loop [])
+
+let _ = peek2

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the CUDA C subset (the ROSE frontend
+    stand-in). Accepts exactly the statement/expression forms of
+    {!Ast}; anything else raises {!Parse_error} with a line number and
+    message, mirroring how the paper's frontend rejects unsupported
+    stencil forms (Section 7). *)
+
+exception Parse_error of { line : int; message : string }
+
+val kernels : string -> Ast.kernel list
+(** Parse a compilation unit of [__global__] function definitions.
+    Non-kernel top-level text is not supported. *)
+
+val kernel : string -> Ast.kernel
+(** Parse exactly one kernel definition. *)
+
+val expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and by programmer
+    amendments to metadata files). *)
+
+val stmts : string -> Ast.stmt list
+(** Parse a standalone statement sequence (no surrounding braces). *)

@@ -1,0 +1,142 @@
+open Ast
+
+let scalar_ty = function Int -> "int" | Double -> "double" | Bool -> "bool"
+
+let dim_name = function X -> "x" | Y -> "y" | Z -> "z"
+
+let builtin = function
+  | Thread_idx d -> "threadIdx." ^ dim_name d
+  | Block_idx d -> "blockIdx." ^ dim_name d
+  | Block_dim d -> "blockDim." ^ dim_name d
+  | Grid_dim d -> "gridDim." ^ dim_name d
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+(* C precedence levels (higher binds tighter) *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec expr_prec level e =
+  match e with
+  | Int_lit i -> string_of_int i
+  | Double_lit f -> float_lit f
+  | Var v -> v
+  | Builtin b -> builtin b
+  | Binop (op, a, b) ->
+      let p = prec op in
+      let s = Printf.sprintf "%s %s %s" (expr_prec p a) (binop_str op) (expr_prec (p + 1) b) in
+      if p < level then "(" ^ s ^ ")" else s
+  | Unop (Neg, ((Unop (Neg, _) as a) | (Int_lit _ as a) | (Double_lit _ as a)))
+    when (match a with
+         | Unop (Neg, _) -> true
+         | Int_lit n -> n < 0
+         | Double_lit f -> f < 0.0
+         | _ -> false) ->
+      (* avoid "--x" (C lexes it as decrement) and "--4" *)
+      Printf.sprintf "-(%s)" (expr_prec 0 a)
+  | Unop (Neg, a) -> Printf.sprintf "-%s" (expr_prec 7 a)
+  | Unop (Not, a) -> Printf.sprintf "!%s" (expr_prec 7 a)
+  | Index (a, idxs) ->
+      a ^ String.concat "" (List.map (fun i -> "[" ^ expr_prec 0 i ^ "]") idxs)
+  | Call (f, args) -> Printf.sprintf "%s(%s)" f (String.concat ", " (List.map (expr_prec 0) args))
+  | Ternary (c, a, b) ->
+      let s = Printf.sprintf "%s ? %s : %s" (expr_prec 1 c) (expr_prec 0 a) (expr_prec 0 b) in
+      if level > 0 then "(" ^ s ^ ")" else s
+
+let expr e = expr_prec 0 e
+
+let lvalue = function
+  | Lvar v -> v
+  | Lindex (a, idxs) -> a ^ String.concat "" (List.map (fun i -> "[" ^ expr i ^ "]") idxs)
+
+let rec stmt ?(indent = 0) s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Decl (ty, n, None) -> Printf.sprintf "%s%s %s;" pad (scalar_ty ty) n
+  | Decl (ty, n, Some e) -> Printf.sprintf "%s%s %s = %s;" pad (scalar_ty ty) n (expr e)
+  | Shared_decl (ty, n, dims) ->
+      Printf.sprintf "%s__shared__ %s %s%s;" pad (scalar_ty ty) n
+        (String.concat "" (List.map (Printf.sprintf "[%d]") dims))
+  | Assign (lv, e) -> Printf.sprintf "%s%s = %s;" pad (lvalue lv) (expr e)
+  | If (c, t, []) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr c) (body ~indent:(indent + 2) t) pad
+  | If (c, t, e) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr c)
+        (body ~indent:(indent + 2) t)
+        pad
+        (body ~indent:(indent + 2) e)
+        pad
+  | For l ->
+      let update =
+        if l.step = 1 then Printf.sprintf "%s++" l.index
+        else Printf.sprintf "%s += %d" l.index l.step
+      in
+      Printf.sprintf "%sfor (int %s = %s; %s < %s; %s) {\n%s\n%s}" pad l.index (expr l.lo)
+        l.index (expr l.hi) update
+        (body ~indent:(indent + 2) l.body)
+        pad
+  | Syncthreads -> pad ^ "__syncthreads();"
+  | Return -> pad ^ "return;"
+
+and body ?(indent = 0) stmts =
+  if stmts = [] then String.make indent ' ' ^ ";"
+  else String.concat "\n" (List.map (stmt ~indent) stmts)
+
+let param = function
+  | Array_param { name; elem_ty; quals } ->
+      let q =
+        (if List.mem Const quals then "const " else "")
+        ^ scalar_ty elem_ty ^ " *"
+        ^ if List.mem Restrict quals then "__restrict__ " else ""
+      in
+      q ^ name
+  | Scalar_param { name; ty } -> scalar_ty ty ^ " " ^ name
+
+let kernel k =
+  Printf.sprintf "__global__ void %s(%s) {\n%s\n}\n" k.k_name
+    (String.concat ", " (List.map param k.k_params))
+    (body ~indent:2 k.k_body)
+
+let arg = function
+  | Arg_array a -> a
+  | Arg_int i -> string_of_int i
+  | Arg_double f -> float_lit f
+
+let host_schedule p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "// host driver for %s\n" p.p_name);
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "// device array %s : %s[%s]\n" a.a_name (scalar_ty a.a_elem_ty)
+           (String.concat " * " (List.map string_of_int a.a_dims))))
+    p.p_arrays;
+  List.iter
+    (fun op ->
+      match op with
+      | Copy_to_device a -> Buffer.add_string buf (Printf.sprintf "cudaMemcpy(%s_d, %s_h, /*H2D*/);\n" a a)
+      | Copy_to_host a -> Buffer.add_string buf (Printf.sprintf "cudaMemcpy(%s_h, %s_d, /*D2H*/);\n" a a)
+      | Launch l ->
+          let gx, gy, gz = grid_of_launch l and bx, by, bz = l.l_block in
+          Buffer.add_string buf
+            (Printf.sprintf "%s<<<dim3(%d, %d, %d), dim3(%d, %d, %d)>>>(%s);\n" l.l_kernel gx gy
+               gz bx by bz
+               (String.concat ", " (List.map arg l.l_args))))
+    p.p_schedule;
+  Buffer.contents buf
+
+let program p =
+  String.concat "\n" (List.map kernel p.p_kernels) ^ "\n" ^ host_schedule p

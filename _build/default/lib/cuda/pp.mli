@@ -1,0 +1,27 @@
+(** Unparser: AST back to CUDA C text (the ROSE unparse step).
+
+    The paper stresses that the generated kernels are "highly readable"
+    so the programmer can amend them (Section 3.2.5); the printer
+    therefore produces conventionally indented CUDA C, and the output of
+    {!kernel} parses back with {!Parse.kernels} (round-trip property,
+    tested). *)
+
+val scalar_ty : Ast.scalar_ty -> string
+
+val expr : Ast.expr -> string
+(** Minimal parenthesization driven by operator precedence. *)
+
+val stmt : ?indent:int -> Ast.stmt -> string
+
+val body : ?indent:int -> Ast.stmt list -> string
+
+val kernel : Ast.kernel -> string
+(** Full [__global__ void ...] definition. *)
+
+val host_schedule : Ast.program -> string
+(** The host-side driver fragment: array sizes as comments, kernel
+    launches with explicit grid/block dimensions, and memcpy markers. *)
+
+val program : Ast.program -> string
+(** Kernels followed by the host fragment — a self-contained
+    compilation-unit rendition of the program. *)

@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Hashtbl Kft_cuda Kft_graph List Option Printf

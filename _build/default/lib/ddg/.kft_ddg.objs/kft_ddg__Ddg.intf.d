@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Kft_cuda Kft_graph

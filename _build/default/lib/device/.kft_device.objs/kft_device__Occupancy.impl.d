@@ -1,0 +1,1 @@
+lib/device/occupancy.ml: Device List

@@ -1,0 +1,127 @@
+type t = {
+  name : string;
+  compute_capability : int * int;
+  sm_count : int;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_warps_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_sm : int;
+  shared_mem_per_block : int;
+  shared_alloc_granularity : int;
+  regs_per_sm : int;
+  max_regs_per_thread : int;
+  reg_alloc_granularity : int;
+  peak_gflops_double : float;
+  peak_bandwidth_gbs : float;
+  kernel_launch_overhead_us : float;
+}
+
+let kepler_base = {
+  name = "Generic Kepler";
+  compute_capability = (3, 5);
+  sm_count = 14;
+  warp_size = 32;
+  max_threads_per_block = 1024;
+  max_threads_per_sm = 2048;
+  max_warps_per_sm = 64;
+  max_blocks_per_sm = 16;
+  shared_mem_per_sm = 49152;
+  shared_mem_per_block = 49152;
+  shared_alloc_granularity = 256;
+  regs_per_sm = 65536;
+  max_regs_per_thread = 255;
+  reg_alloc_granularity = 256;
+  peak_gflops_double = 1170.0;
+  peak_bandwidth_gbs = 208.0;
+  kernel_launch_overhead_us = 6.0;
+}
+
+let k20x =
+  { kepler_base with
+    name = "Tesla K20X";
+    sm_count = 14;
+    peak_gflops_double = 1310.0;
+    peak_bandwidth_gbs = 250.0 }
+
+let k40 =
+  { kepler_base with
+    name = "Tesla K40";
+    sm_count = 15;
+    peak_gflops_double = 1430.0;
+    peak_bandwidth_gbs = 288.0 }
+
+let generic_kepler = kepler_base
+
+let all = [ k20x; k40; generic_kepler ]
+
+let by_name s =
+  let norm x = String.lowercase_ascii (String.trim x) in
+  List.find_opt (fun d -> norm d.name = norm s) all
+
+let query_report d =
+  String.concat "\n"
+    [
+      Printf.sprintf "device.name = %s" d.name;
+      Printf.sprintf "device.compute_capability = %d.%d" (fst d.compute_capability)
+        (snd d.compute_capability);
+      Printf.sprintf "device.sm_count = %d" d.sm_count;
+      Printf.sprintf "device.warp_size = %d" d.warp_size;
+      Printf.sprintf "device.max_threads_per_block = %d" d.max_threads_per_block;
+      Printf.sprintf "device.max_threads_per_sm = %d" d.max_threads_per_sm;
+      Printf.sprintf "device.max_warps_per_sm = %d" d.max_warps_per_sm;
+      Printf.sprintf "device.max_blocks_per_sm = %d" d.max_blocks_per_sm;
+      Printf.sprintf "device.shared_mem_per_sm = %d" d.shared_mem_per_sm;
+      Printf.sprintf "device.shared_mem_per_block = %d" d.shared_mem_per_block;
+      Printf.sprintf "device.shared_alloc_granularity = %d" d.shared_alloc_granularity;
+      Printf.sprintf "device.regs_per_sm = %d" d.regs_per_sm;
+      Printf.sprintf "device.max_regs_per_thread = %d" d.max_regs_per_thread;
+      Printf.sprintf "device.reg_alloc_granularity = %d" d.reg_alloc_granularity;
+      Printf.sprintf "device.peak_gflops_double = %g" d.peak_gflops_double;
+      Printf.sprintf "device.peak_bandwidth_gbs = %g" d.peak_bandwidth_gbs;
+      Printf.sprintf "device.kernel_launch_overhead_us = %g" d.kernel_launch_overhead_us;
+      "";
+    ]
+
+let of_query_report s =
+  let kv = Hashtbl.create 32 in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         match String.index_opt line '=' with
+         | None -> ()
+         | Some i ->
+             let k = String.trim (String.sub line 0 i) in
+             let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+             Hashtbl.replace kv k v);
+  let get k =
+    match Hashtbl.find_opt kv ("device." ^ k) with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Device.of_query_report: missing field %s" k)
+  in
+  let geti k = int_of_string (get k) in
+  let getf k = float_of_string (get k) in
+  let cc =
+    match String.split_on_char '.' (get "compute_capability") with
+    | [ a; b ] -> (int_of_string a, int_of_string b)
+    | _ -> failwith "Device.of_query_report: bad compute_capability"
+  in
+  {
+    name = get "name";
+    compute_capability = cc;
+    sm_count = geti "sm_count";
+    warp_size = geti "warp_size";
+    max_threads_per_block = geti "max_threads_per_block";
+    max_threads_per_sm = geti "max_threads_per_sm";
+    max_warps_per_sm = geti "max_warps_per_sm";
+    max_blocks_per_sm = geti "max_blocks_per_sm";
+    shared_mem_per_sm = geti "shared_mem_per_sm";
+    shared_mem_per_block = geti "shared_mem_per_block";
+    shared_alloc_granularity = geti "shared_alloc_granularity";
+    regs_per_sm = geti "regs_per_sm";
+    max_regs_per_thread = geti "max_regs_per_thread";
+    reg_alloc_granularity = geti "reg_alloc_granularity";
+    peak_gflops_double = getf "peak_gflops_double";
+    peak_bandwidth_gbs = getf "peak_bandwidth_gbs";
+    kernel_launch_overhead_us = getf "kernel_launch_overhead_us";
+  }

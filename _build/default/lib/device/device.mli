@@ -1,0 +1,45 @@
+(** Target-device models.
+
+    The paper gathers "device metadata" once per target device with a
+    deviceQuery-style program (Section 5.1) and feeds it to the objective
+    function and to the occupancy-based thread-block tuning. We model the
+    two GPUs of the evaluation (Kepler K20X and K40) plus a generic
+    Kepler part, as plain records. All capacities are per the CUDA
+    compute-capability 3.5 tables. *)
+
+type t = {
+  name : string;
+  compute_capability : int * int;
+  sm_count : int;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_warps_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_sm : int;  (** bytes *)
+  shared_mem_per_block : int;  (** bytes *)
+  shared_alloc_granularity : int;  (** bytes *)
+  regs_per_sm : int;
+  max_regs_per_thread : int;
+  reg_alloc_granularity : int;  (** registers, allocated per warp *)
+  peak_gflops_double : float;
+  peak_bandwidth_gbs : float;  (** GB/s *)
+  kernel_launch_overhead_us : float;
+}
+
+val k20x : t
+val k40 : t
+val generic_kepler : t
+
+val by_name : string -> t option
+(** Lookup among the built-in devices (case-insensitive). *)
+
+val all : t list
+
+val query_report : t -> string
+(** Human-readable deviceQuery-style report; this is the "device
+    metadata" text file of Section 3.2.1. *)
+
+val of_query_report : string -> t
+(** Parse a report produced by {!query_report} (possibly amended by the
+    programmer). Raises [Failure] on malformed input. *)

@@ -1,0 +1,1 @@
+lib/fission/fission.ml: Array Kft_analysis Kft_cuda List Printf

@@ -1,0 +1,1 @@
+lib/fission/fission.mli: Kft_cuda

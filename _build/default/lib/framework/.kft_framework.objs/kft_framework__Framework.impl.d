@@ -1,0 +1,1 @@
+lib/framework/framework.ml: Buffer Hashtbl Kft_analysis Kft_codegen Kft_cuda Kft_ddg Kft_device Kft_fission Kft_gga Kft_graph Kft_metadata Kft_perfmodel Kft_sim List Option Printf Stdlib String

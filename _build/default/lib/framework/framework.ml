@@ -1,0 +1,494 @@
+open Kft_cuda.Ast
+module Ddg = Kft_ddg.Ddg
+module Meta = Kft_metadata.Metadata
+module Gga = Kft_gga.Gga
+module Fission = Kft_fission.Fission
+module Perfmodel = Kft_perfmodel.Perfmodel
+module Codegen = Kft_codegen.Codegen
+module Fusion = Kft_codegen.Fusion
+module Canonical = Kft_codegen.Canonical
+module Classify = Kft_analysis.Classify
+
+type filter_mode = Automated | Manual | No_filtering
+
+type config = {
+  device : Kft_device.Device.t;
+  gga_params : Gga.params;
+  codegen_options : Fusion.options;
+  filter_mode : filter_mode;
+  seed : int;
+  verify_tolerance : float;
+}
+
+let default_config =
+  {
+    device = Kft_device.Device.k20x;
+    gga_params = Gga.default_params;
+    codegen_options = Fusion.auto_options;
+    filter_mode = Automated;
+    seed = 42;
+    verify_tolerance = 1e-9;
+  }
+
+type hooks = {
+  amend_metadata : Meta.t -> Meta.t;
+  amend_targets : (string * bool) list -> (string * bool) list;
+  amend_solution : string list list -> string list list;
+}
+
+let no_hooks =
+  {
+    amend_metadata = (fun m -> m);
+    amend_targets = (fun t -> t);
+    amend_solution = (fun s -> s);
+  }
+
+type target_info = {
+  invocation : Ddg.invocation;
+  classification : Classify.kind;
+  eligible : bool;
+  reason : string;
+}
+
+type report = {
+  baseline : Kft_sim.Profiler.run;
+  metadata : Meta.t;
+  graphs : Ddg.t;
+  targets : target_info list;
+  fission_plans : (string * Fission.plan) list;
+  gga : Gga.result option;
+  solution_groups : string list list;
+  fissioned : string list;
+  codegen : Codegen.result;
+  transformed : program;
+  transformed_run : Kft_sim.Profiler.run;
+  speedup : float;
+  verified : (unit, (string * float) list) result;
+  new_graphs : Ddg.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Target identification                                               *)
+(* ------------------------------------------------------------------ *)
+
+let max_array_cells prog (l : launch) =
+  let reads, writes = Ddg.arrays_touched prog l in
+  List.fold_left
+    (fun acc a -> max acc (array_cells (find_array prog a)))
+    0 (reads @ writes)
+
+let classify_invocation mode (meta : Meta.t) prog (inv : Ddg.invocation) =
+  let perf = Meta.find_perf meta inv.inv_kernel in
+  let ops = Meta.find_ops meta inv.inv_kernel in
+  let dx, dy, dz = ops.domain in
+  (* spatial coverage includes the vertical loop the canonical mapping
+     iterates inside the kernel *)
+  let vertical_trip =
+    List.fold_left (fun acc (l : Meta.loop_op) -> if l.vertical then max acc l.trip else acc) 1
+      ops.loops
+  in
+  let args =
+    ( perf.flops,
+      perf.bytes,
+      dx * dy * dz * vertical_trip,
+      max_array_cells prog inv.inv_launch,
+      ops.active_fraction )
+  in
+  let flops, bytes, domain_cells, max_cells, active = args in
+  match mode with
+  | No_filtering -> Classify.Memory_bound
+  | Automated ->
+      Classify.classify_static ~device:Kft_device.Device.k20x ~flops ~bytes ~domain_cells
+        ~max_array_cells:max_cells ~active_fraction:active
+  | Manual ->
+      Classify.classify_measured ~device:Kft_device.Device.k20x ~flops ~bytes ~domain_cells
+        ~max_array_cells:max_cells ~active_fraction:active ~runtime_us:perf.runtime_us
+
+let identify_targets config meta prog (graphs : Ddg.t) =
+  List.map
+    (fun (inv : Ddg.invocation) ->
+      let classification = classify_invocation config.filter_mode meta prog inv in
+      let ops = Meta.find_ops meta inv.inv_kernel in
+      let repeated = String.contains inv.inv_key '#' in
+      let eligible, reason =
+        if repeated then (false, "repeated invocation of an already-targeted kernel")
+        else
+          match (classification, ops.irregular) with
+          | _, Some r -> (false, "irregular: " ^ r)
+          | Classify.Compute_bound, _ -> (false, "compute-bound (Roofline)")
+          | Classify.Boundary, _ -> (false, "boundary kernel (small iteration coverage)")
+          | Classify.Latency_bound, _ -> (false, "latency-bound (low achieved bandwidth)")
+          | Classify.Memory_bound, _ -> (true, "memory-bound target")
+      in
+      { invocation = inv; classification; eligible; reason })
+    graphs.invocations
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let transform ?(config = default_config) ?(hooks = no_hooks) prog =
+  (* stage 0: frontend validation -- a malformed program would otherwise
+     surface as a confusing simulator fault deep in stage 1 *)
+  (match Kft_cuda.Check.program prog with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "Framework.transform: program %s fails validation:\n%s" prog.p_name
+           (String.concat "\n" (List.map Kft_cuda.Check.pp_error errs))));
+  let device = config.device in
+  (* stage 1: metadata *)
+  let meta, baseline = Meta.gather ~seed:config.seed device prog in
+  let meta = hooks.amend_metadata meta in
+  (* stage 2/3: graphs + targets *)
+  let graphs = Ddg.build prog in
+  let targets0 = identify_targets config meta prog graphs in
+  let amended = hooks.amend_targets (List.map (fun t -> (t.invocation.inv_key, t.eligible)) targets0) in
+  let targets =
+    List.map
+      (fun t ->
+        match List.assoc_opt t.invocation.inv_key amended with
+        | Some e when e <> t.eligible ->
+            { t with eligible = e; reason = t.reason ^ " (amended by programmer)" }
+        | _ -> t)
+      targets0
+  in
+  let eligible = List.filter (fun t -> t.eligible) targets in
+  (* lazy-fission pre-step: plans + one profiled run of the fully
+     fissioned variant to collect part metadata (Section 4.1) *)
+  let fission_plans =
+    if not config.gga_params.fission_enabled then []
+    else
+      List.filter_map
+        (fun t ->
+          let k = find_kernel prog t.invocation.inv_kernel in
+          Option.map (fun p -> (k.k_name, p)) (Fission.plan ~seed:config.seed k))
+        eligible
+  in
+  let prog_fissioned =
+    if fission_plans = [] then None
+    else Some (Fission.apply_to_program ~plans:fission_plans prog)
+  in
+  let meta_fissioned =
+    Option.map (fun p -> fst (Meta.gather ~seed:config.seed device p)) prog_fissioned
+  in
+  (* canonical-member cache for codegen-level feasibility *)
+  let member_cache : (string, (Canonical.member, string) Stdlib.result) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let launch_of_key p key =
+    let invs = (Ddg.build p).invocations in
+    (List.find (fun (i : Ddg.invocation) -> i.inv_key = key) invs).inv_launch
+  in
+  let cache_member source_prog key =
+    if not (Hashtbl.mem member_cache key) then begin
+      let r =
+        match
+          Canonical.extract ~deep:config.codegen_options.deep_nest_strategy ~index:0 source_prog
+            (launch_of_key source_prog key)
+        with
+        | m -> Ok m
+        | exception Canonical.Not_canonical reason -> Error reason
+        | exception Not_found -> Error "launch not found"
+      in
+      Hashtbl.replace member_cache key r
+    end
+  in
+  List.iter (fun t -> cache_member prog t.invocation.inv_key) eligible;
+  (match (prog_fissioned, fission_plans) with
+  | Some pf, plans ->
+      List.iter
+        (fun (_, (plan : Fission.plan)) ->
+          List.iter
+            (fun (part : Fission.part) -> cache_member pf part.part_kernel.k_name)
+            plan.parts)
+        plans
+  | None, _ -> ());
+  (* schedule position of each unit (fission parts take their position in
+     the fully-fissioned schedule); groups coming out of the GGA are
+     unordered, while fusion feasibility and codegen are order-sensitive *)
+  let unit_pos : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (inv : Ddg.invocation) -> Hashtbl.replace unit_pos inv.inv_key (inv.inv_index * 1000))
+    graphs.invocations;
+  List.iter
+    (fun (orig, (plan : Fission.plan)) ->
+      match Hashtbl.find_opt unit_pos orig with
+      | None -> ()
+      | Some base ->
+          List.iteri
+            (fun i (part : Fission.part) ->
+              Hashtbl.replace unit_pos part.part_kernel.k_name (base + i + 1))
+            plan.parts)
+    fission_plans;
+  let schedule_sort names =
+    List.sort
+      (fun a b ->
+        compare
+          (Option.value ~default:max_int (Hashtbl.find_opt unit_pos a))
+          (Option.value ~default:max_int (Hashtbl.find_opt unit_pos b)))
+      names
+  in
+  let group_plan_cache : (string, (Fusion.plan, string) Stdlib.result) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let group_plan names =
+    let names = schedule_sort names in
+    let key = String.concat "|" names in
+    match Hashtbl.find_opt group_plan_cache key with
+    | Some r -> r
+    | None ->
+        let r =
+          let members =
+            List.fold_left
+              (fun acc name ->
+                match acc with
+                | Error _ -> acc
+                | Ok ms -> (
+                    match Hashtbl.find_opt member_cache name with
+                    | Some (Ok m) -> Ok (m :: ms)
+                    | Some (Error e) -> Error e
+                    | None -> Error ("no canonical form cached for " ^ name)))
+              (Ok []) names
+          in
+          match members with
+          | Error e -> Error e
+          | Ok ms ->
+              let ms = List.rev ms in
+              Fusion.check_group (List.mapi (fun i (m : Canonical.member) -> { m with m_index = i }) ms)
+        in
+        Hashtbl.replace group_plan_cache key r;
+        r
+  in
+  (* stage 4: GGA *)
+  (* a fission part K__fN collapses back to K for OEG feasibility *)
+  let original_of name =
+    let is_digit c = c >= '0' && c <= '9' in
+    let n = String.length name in
+    let rec find i =
+      if i + 3 > n then None
+      else if String.sub name i 3 = "__f" && i + 3 < n && is_digit name.[i + 3] then Some i
+      else find (i + 1)
+    in
+    match find 0 with Some i -> String.sub name 0 i | None -> name
+  in
+  let units =
+    List.map (fun t -> Perfmodel.of_metadata meta t.invocation.inv_kernel) eligible
+  in
+  let fission_parts =
+    match meta_fissioned with
+    | None -> []
+    | Some mf ->
+        List.map
+          (fun (orig, (plan : Fission.plan)) ->
+            ( orig,
+              List.map
+                (fun (part : Fission.part) -> Perfmodel.of_metadata mf part.part_kernel.k_name)
+                plan.parts ))
+          fission_plans
+  in
+  let part_arrays =
+    List.concat_map
+      (fun (_, (plan : Fission.plan)) ->
+        List.map
+          (fun (part : Fission.part) ->
+            ( part.part_kernel.k_name,
+              match Hashtbl.find_opt member_cache part.part_kernel.k_name with
+              | Some (Ok m) -> Canonical.touched_arrays m
+              | _ -> part.part_arrays ))
+          plan.parts)
+      fission_plans
+  in
+  let feasible names =
+    match names with
+    | [] | [ _ ] -> true
+    | _ ->
+        let collapsed = List.sort_uniq compare (List.map original_of names) in
+        Ddg.fusion_feasible graphs collapsed
+        && (match group_plan names with Ok _ -> true | Error _ -> false)
+  in
+  let shared_ok models =
+    match models with
+    | [] | [ _ ] -> true
+    | first :: _ -> (
+        let names = List.map (fun (m : Perfmodel.unit_model) -> m.unit_name) models in
+        match group_plan names with
+        | Ok plan ->
+            let bx, by, _ = first.block in
+            plan.p_shared_bytes bx by <= device.shared_mem_per_block
+        | Error _ -> true)
+  in
+  (* joint schedulability: expand OEG edges over the units actually
+     present in a solution (parts replace their fissioned original),
+     contract all groups at once and check acyclicity *)
+  let parts_of =
+    List.map
+      (fun (orig, (plan : Fission.plan)) ->
+        (orig, List.map (fun (p : Fission.part) -> p.part_kernel.k_name) plan.parts))
+      fission_plans
+  in
+  let oeg_edges = Kft_graph.Digraph.edges graphs.oeg in
+  let all_invocations = List.map (fun (i : Ddg.invocation) -> i.inv_key) graphs.invocations in
+  let solution_feasible ~groups ~fissioned =
+    let expand k =
+      if List.mem k fissioned then
+        match List.assoc_opt k parts_of with Some parts -> parts | None -> [ k ]
+      else [ k ]
+    in
+    let g = Kft_graph.Digraph.create () in
+    List.iter
+      (fun k -> List.iter (fun u -> Kft_graph.Digraph.ensure_node g ~key:u ()) (expand k))
+      all_invocations;
+    List.iter
+      (fun (a, b) ->
+        List.iter
+          (fun ua -> List.iter (fun ub -> Kft_graph.Digraph.add_edge g ua ub) (expand b))
+          (expand a))
+      oeg_edges;
+    let gid = Hashtbl.create 64 in
+    List.iteri
+      (fun i group -> List.iter (fun u -> Hashtbl.replace gid u (Printf.sprintf "g%d" i)) group)
+      groups;
+    let group_of k = match Hashtbl.find_opt gid k with Some x -> x | None -> "solo:" ^ k in
+    Kft_graph.Digraph.is_dag (Kft_graph.Digraph.quotient g ~group_of)
+  in
+  let problem =
+    {
+      Gga.units;
+      fission_parts;
+      part_arrays;
+      feasible;
+      solution_feasible;
+      objective = Perfmodel.objective device;
+      shared_ok;
+    }
+  in
+  let gga_result =
+    if List.length units >= 2 then Some (Gga.run config.gga_params problem) else None
+  in
+  let solution_groups =
+    match gga_result with
+    | Some r -> r.best.groups
+    | None -> List.map (fun (m : Perfmodel.unit_model) -> [ m.unit_name ]) units
+  in
+  let solution_groups = hooks.amend_solution solution_groups in
+  let fissioned =
+    match gga_result with Some r -> r.best.fissioned | None -> []
+  in
+  (* stage 5: apply fission, order groups, generate code *)
+  let chosen_plans = List.filter (fun (k, _) -> List.mem k fissioned) fission_plans in
+  let prog' =
+    if chosen_plans = [] then prog else Fission.apply_to_program ~plans:chosen_plans prog
+  in
+  let graphs' = Ddg.build prog' in
+  let gid_of : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i group -> List.iter (fun u -> Hashtbl.replace gid_of u (Printf.sprintf "g%d" i)) group)
+    solution_groups;
+  let group_of key =
+    match Hashtbl.find_opt gid_of key with Some g -> g | None -> "solo:" ^ key
+  in
+  let quotient = Kft_graph.Digraph.quotient graphs'.oeg ~group_of:(fun k -> group_of k) in
+  let ordered_gids =
+    match Kft_graph.Digraph.topo_sort quotient with
+    | order -> order
+    | exception Kft_graph.Digraph.Cycle _ ->
+        (* an infeasible grouping slipped through (penalized but still the
+           best found, or forced by a programmer amendment): break every
+           group up and run the original schedule *)
+        Hashtbl.reset gid_of;
+        List.map
+          (fun (inv : Ddg.invocation) ->
+            Hashtbl.replace gid_of inv.inv_key ("solo:" ^ inv.inv_key);
+            "solo:" ^ inv.inv_key)
+          graphs'.invocations
+  in
+  let launches_of_gid gid =
+    List.filter_map
+      (fun (inv : Ddg.invocation) ->
+        if group_of inv.inv_key = gid then Some inv.inv_launch else None)
+      graphs'.invocations
+  in
+  let groups = List.map launches_of_gid ordered_gids |> List.filter (fun g -> g <> []) in
+  let codegen = Codegen.transform ~options:config.codegen_options device prog' ~groups in
+  let transformed = codegen.program in
+  let transformed_run = Kft_sim.Profiler.profile ~seed:config.seed device transformed in
+  let verified =
+    Kft_sim.Profiler.verify ~seed:config.seed ~tol:config.verify_tolerance device ~original:prog
+      ~transformed
+  in
+  {
+    baseline;
+    metadata = meta;
+    graphs;
+    targets;
+    fission_plans;
+    gga = gga_result;
+    solution_groups;
+    fissioned;
+    codegen;
+    transformed;
+    transformed_run;
+    speedup = Kft_sim.Profiler.speedup ~original:baseline ~transformed:transformed_run;
+    verified;
+    new_graphs = Ddg.build transformed;
+  }
+
+let stage_report r =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  p "== stage 1: metadata ==";
+  p "kernels profiled: %d, baseline modeled time: %.1f us" (List.length r.metadata.performance)
+    r.baseline.total_time_us;
+  p "";
+  p "== stage 2: target identification ==";
+  List.iter
+    (fun t ->
+      p "  %-24s %-14s %s %s" t.invocation.inv_key
+        (Classify.to_string t.classification)
+        (if t.eligible then "[target]" else "[excluded]")
+        t.reason)
+    r.targets;
+  p "";
+  p "== stage 3: DDG / OEG ==";
+  p "DDG: %d nodes, %d edges; OEG: %d nodes, %d edges"
+    (Kft_graph.Digraph.node_count r.graphs.ddg)
+    (Kft_graph.Digraph.edge_count r.graphs.ddg)
+    (Kft_graph.Digraph.node_count r.graphs.oeg)
+    (Kft_graph.Digraph.edge_count r.graphs.oeg);
+  List.iter
+    (fun (a, n) -> p "  redundant instances added for multi-writer array %s (%d copies)" a n)
+    r.graphs.versioned_arrays;
+  p "";
+  p "== stage 4: GGA search ==";
+  (match r.gga with
+  | None -> p "  skipped (fewer than two targets)"
+  | Some g ->
+      p "  best objective %.3f GFLOPS (raw %.3f), %d violations" g.best.fitness
+        g.best.raw_objective g.best.violations;
+      p "  fission events: %d (%.3f per generation), converged at generation %d"
+        g.fission_events g.avg_fissions_per_generation g.converged_at);
+  p "  groups: %s"
+    (String.concat " | " (List.map (fun g -> String.concat "+" g) r.solution_groups));
+  (if r.fissioned <> [] then p "  fissioned kernels: %s" (String.concat ", " r.fissioned));
+  p "";
+  p "== stage 5: code generation ==";
+  List.iter
+    (fun (rep : Codegen.kernel_report) ->
+      p "  %-10s <- [%s] %s staged:%d shared:%dB block:%s occ %.2f->%.2f%s" rep.new_kernel
+        (String.concat "," rep.members)
+        (match rep.fusion_kind with `None -> "copy" | `Simple -> "simple-fusion" | `Complex -> "complex-fusion")
+        (List.length rep.staged_arrays) rep.shared_bytes
+        (let a, b, c = rep.block in
+         Printf.sprintf "(%d,%d,%d)" a b c)
+        rep.occupancy_before rep.occupancy_after
+        (match rep.notes with [] -> "" | n -> " !! " ^ String.concat "; " n))
+    r.codegen.reports;
+  p "";
+  p "== result ==";
+  p "speedup: %.3fx (%.1f us -> %.1f us), verification: %s" r.speedup r.baseline.total_time_us
+    r.transformed_run.total_time_us
+    (match r.verified with
+    | Ok () -> "OK"
+    | Error diffs -> Printf.sprintf "FAILED on %d arrays" (List.length diffs));
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** End-to-end transformation pipeline (Section 3, Figure 1).
+
+    The five stages — metadata gathering, target identification, DDG/OEG
+    construction, GGA search, code generation — run in sequence; after
+    each stage the programmer can intervene through the [hooks], exactly
+    mirroring the paper's programmer-guided transformation (Figure 2).
+    Each stage's intermediate results are part of the {!report} so a
+    caller (or the CLI) can stop after any stage, dump the text files /
+    DOT graphs, and resume from amended versions. *)
+
+type filter_mode =
+  | Automated  (** Roofline + boundary filtering (Section 3.2.2) *)
+  | Manual  (** expert filtering: additionally drops latency-bound kernels (Figure 8) *)
+  | No_filtering  (** ablation: everything is a target (2.5x slower convergence claim) *)
+
+type config = {
+  device : Kft_device.Device.t;
+  gga_params : Kft_gga.Gga.params;
+  codegen_options : Kft_codegen.Fusion.options;
+  filter_mode : filter_mode;
+  seed : int;
+  verify_tolerance : float;
+}
+
+val default_config : config
+(** K20X, the paper's GGA defaults, automated codegen, automated
+    filtering. *)
+
+type hooks = {
+  amend_metadata : Kft_metadata.Metadata.t -> Kft_metadata.Metadata.t;
+  amend_targets : (string * bool) list -> (string * bool) list;
+      (** (invocation key, eligible) pairs *)
+  amend_solution : string list list -> string list list;
+      (** fusion groups over unit names, after the GGA *)
+}
+
+val no_hooks : hooks
+
+type target_info = {
+  invocation : Kft_ddg.Ddg.invocation;
+  classification : Kft_analysis.Classify.kind;
+  eligible : bool;
+  reason : string;  (** why it was kept/excluded — part of the stage report *)
+}
+
+type report = {
+  baseline : Kft_sim.Profiler.run;
+  metadata : Kft_metadata.Metadata.t;
+  graphs : Kft_ddg.Ddg.t;
+  targets : target_info list;
+  fission_plans : (string * Kft_fission.Fission.plan) list;
+      (** lazy-fission pre-step: plan per fissionable target kernel *)
+  gga : Kft_gga.Gga.result option;  (** [None] when fewer than two targets *)
+  solution_groups : string list list;
+  fissioned : string list;
+  codegen : Kft_codegen.Codegen.result;
+  transformed : Kft_cuda.Ast.program;
+  transformed_run : Kft_sim.Profiler.run;
+  speedup : float;
+  verified : (unit, (string * float) list) result;
+  new_graphs : Kft_ddg.Ddg.t;  (** DDG/OEG of the transformed program *)
+}
+
+val transform : ?config:config -> ?hooks:hooks -> Kft_cuda.Ast.program -> report
+(** Run the full pipeline. The transformed program's output is verified
+    against the original on the simulator (the paper verified every
+    run); [speedup] is original/transformed modeled time. *)
+
+val classify_invocation :
+  filter_mode -> Kft_metadata.Metadata.t -> Kft_cuda.Ast.program ->
+  Kft_ddg.Ddg.invocation -> Kft_analysis.Classify.kind
+(** Exposed for tests and the filtering benchmarks. *)
+
+val stage_report : report -> string
+(** Human-readable multi-stage report (the "report on the output of each
+    phase including hints of possible inefficiencies"). *)

@@ -1,0 +1,1 @@
+lib/gga/gga.ml: Array Float Hashtbl Kft_perfmodel List Printf Random String

@@ -1,0 +1,1 @@
+lib/gga/gga.mli: Kft_perfmodel

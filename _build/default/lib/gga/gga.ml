@@ -1,0 +1,415 @@
+type params = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+  elitism : int;
+  seed : int;
+  c_violation : float;
+  c_sm_stuck : float;
+  fission_enabled : bool;
+}
+
+let default_params =
+  {
+    population = 100;
+    generations = 500;
+    crossover_rate = 0.8;
+    mutation_rate = 0.25;
+    tournament = 3;
+    elitism = 2;
+    seed = 7;
+    c_violation = 50.0;
+    c_sm_stuck = 20.0;
+    fission_enabled = true;
+  }
+
+let params_to_text p =
+  String.concat "\n"
+    [
+      Printf.sprintf "population = %d" p.population;
+      Printf.sprintf "generations = %d" p.generations;
+      Printf.sprintf "crossover_rate = %g" p.crossover_rate;
+      Printf.sprintf "mutation_rate = %g" p.mutation_rate;
+      Printf.sprintf "tournament = %d" p.tournament;
+      Printf.sprintf "elitism = %d" p.elitism;
+      Printf.sprintf "seed = %d" p.seed;
+      Printf.sprintf "c_violation = %g" p.c_violation;
+      Printf.sprintf "c_sm_stuck = %g" p.c_sm_stuck;
+      Printf.sprintf "fission_enabled = %b" p.fission_enabled;
+      "";
+    ]
+
+let params_of_text text =
+  let kv = Hashtbl.create 16 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match String.index_opt line '=' with
+           | Some i ->
+               Hashtbl.replace kv
+                 (String.trim (String.sub line 0 i))
+                 (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+           | None -> failwith ("GGA parameter file: malformed line: " ^ line));
+  let get name default conv =
+    match Hashtbl.find_opt kv name with Some v -> conv v | None -> default
+  in
+  {
+    population = get "population" default_params.population int_of_string;
+    generations = get "generations" default_params.generations int_of_string;
+    crossover_rate = get "crossover_rate" default_params.crossover_rate float_of_string;
+    mutation_rate = get "mutation_rate" default_params.mutation_rate float_of_string;
+    tournament = get "tournament" default_params.tournament int_of_string;
+    elitism = get "elitism" default_params.elitism int_of_string;
+    seed = get "seed" default_params.seed int_of_string;
+    c_violation = get "c_violation" default_params.c_violation float_of_string;
+    c_sm_stuck = get "c_sm_stuck" default_params.c_sm_stuck float_of_string;
+    fission_enabled = get "fission_enabled" default_params.fission_enabled bool_of_string;
+  }
+
+type problem = {
+  units : Kft_perfmodel.Perfmodel.unit_model list;
+  fission_parts : (string * Kft_perfmodel.Perfmodel.unit_model list) list;
+  part_arrays : (string * string list) list;
+  feasible : string list -> bool;
+  solution_feasible : groups:string list list -> fissioned:string list -> bool;
+      (** joint schedulability: contracting every group at once must
+          leave the order-of-execution graph acyclic *)
+  objective : Kft_perfmodel.Perfmodel.unit_model list list -> float;
+  shared_ok : Kft_perfmodel.Perfmodel.unit_model list -> bool;
+}
+
+type solution = {
+  groups : string list list;
+  fissioned : string list;
+  fitness : float;
+  raw_objective : float;
+  violations : int;
+}
+
+type result = {
+  best : solution;
+  history : (int * float) list;
+  fission_events : int;
+  avg_fissions_per_generation : float;
+  converged_at : int;
+  evaluations : int;
+}
+
+(* genotype: groups of unit names + set of fissioned kernels *)
+type genome = { g_groups : string list list; g_fissioned : string list }
+
+let model_table problem =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (m : Kft_perfmodel.Perfmodel.unit_model) -> Hashtbl.replace tbl m.unit_name m) problem.units;
+  List.iter
+    (fun (_, parts) ->
+      List.iter (fun (m : Kft_perfmodel.Perfmodel.unit_model) -> Hashtbl.replace tbl m.unit_name m) parts)
+    problem.fission_parts;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation with lazy fission                                        *)
+(* ------------------------------------------------------------------ *)
+
+let arrays_of_model (m : Kft_perfmodel.Perfmodel.unit_model) = List.map (fun a -> a.Kft_perfmodel.Perfmodel.host) m.arrays
+
+let evaluate params problem tbl fission_counter genome =
+  let model name =
+    match Hashtbl.find_opt tbl name with
+    | Some m -> m
+    | None -> invalid_arg ("GGA: unknown unit " ^ name)
+  in
+  (* lazy fission repair: returns possibly-modified groups + fissioned *)
+  let fissioned = ref genome.g_fissioned in
+  let rec repair_group group =
+    let models = List.map model group in
+    if problem.shared_ok models || not params.fission_enabled then (group, [])
+    else
+      (* pick a fissionable member: an original kernel with pre-profiled parts *)
+      match
+        List.find_opt
+          (fun u -> List.mem_assoc u problem.fission_parts && not (List.mem u !fissioned))
+          group
+      with
+      | None -> (group, [])
+      | Some victim ->
+          incr fission_counter;
+          fissioned := victim :: !fissioned;
+          let parts = List.assoc victim problem.fission_parts in
+          let others = List.filter (fun u -> u <> victim) group in
+          let other_arrays =
+            List.concat_map (fun u -> arrays_of_model (model u)) others
+          in
+          let stays, leaves =
+            List.partition
+              (fun (p : Kft_perfmodel.Perfmodel.unit_model) ->
+                let pa =
+                  match List.assoc_opt p.unit_name problem.part_arrays with
+                  | Some a -> a
+                  | None -> arrays_of_model p
+                in
+                List.exists (fun a -> List.mem a other_arrays) pa)
+              parts
+          in
+          (* keep at least one part in the group to preserve grouping *)
+          let stays, leaves =
+            match (stays, leaves) with
+            | [], p :: rest -> ([ p ], rest)
+            | s, l -> (s, l)
+          in
+          let group' = others @ List.map (fun p -> p.Kft_perfmodel.Perfmodel.unit_name) stays in
+          let singletons = List.map (fun p -> [ p.Kft_perfmodel.Perfmodel.unit_name ]) leaves in
+          let group'', more = repair_group group' in
+          (group'', singletons @ more)
+  in
+  (* when no further fission can relax a violating group, split it
+     greedily along array-sharing affinity into fitting subgroups (the
+     final step of the dynamic relaxation) *)
+  let rec greedy_split group =
+    if List.length group <= 1 || problem.shared_ok (List.map model group) then [ group ]
+    else begin
+      match group with
+      | [] -> []
+      | seed :: rest ->
+          let arrays_of u = arrays_of_model (model u) in
+          let rec grow current current_arrays candidates =
+            let shares u = List.exists (fun a -> List.mem a current_arrays) (arrays_of u) in
+            match
+              List.find_opt
+                (fun u -> shares u && problem.shared_ok (List.map model (u :: current)))
+                candidates
+            with
+            | Some u ->
+                grow (u :: current) (arrays_of u @ current_arrays)
+                  (List.filter (fun v -> v <> u) candidates)
+            | None -> (current, candidates)
+          in
+          let sub, remaining = grow [ seed ] (arrays_of seed) rest in
+          List.rev sub :: greedy_split remaining
+    end
+  in
+  let groups =
+    List.concat_map
+      (fun g ->
+        let g', extra = repair_group g in
+        greedy_split g' @ extra)
+      genome.g_groups
+  in
+  let violations = ref 0 in
+  if not (problem.solution_feasible ~groups ~fissioned:!fissioned) then incr violations;
+  List.iter
+    (fun g ->
+      let models = List.map model g in
+      if List.length g > 1 then begin
+        if not (problem.feasible g) then incr violations;
+        if List.exists (fun (m : Kft_perfmodel.Perfmodel.unit_model) -> not m.fusable) models then
+          incr violations
+      end;
+      if not (problem.shared_ok models) then incr violations)
+    groups;
+  let raw = problem.objective (List.map (List.map model) groups) in
+  (* the penalty has a constant term (the paper's C_i) plus a term
+     proportional to the raw objective, so an infeasible grouping can
+     never out-score a feasible one merely by projecting more reuse *)
+  let scale = Float.abs raw in
+  let stuck_groups =
+    List.fold_left
+      (fun acc g -> if problem.shared_ok (List.map model g) then acc else acc + 1)
+      0 groups
+  in
+  let fitness =
+    raw
+    -. (float_of_int !violations *. (params.c_violation +. (0.75 *. scale)))
+    -. (float_of_int stuck_groups *. (params.c_sm_stuck +. (0.15 *. scale)))
+  in
+  ( { groups; fissioned = List.sort_uniq compare !fissioned; fitness; raw_objective = raw; violations = !violations },
+    { g_groups = groups; g_fissioned = List.sort_uniq compare !fissioned } )
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let random_partition rng units =
+  let n = List.length units in
+  let n_groups = 1 + Random.State.int rng (max 1 n) in
+  let buckets = Array.make n_groups [] in
+  List.iter (fun u -> let i = Random.State.int rng n_groups in buckets.(i) <- u :: buckets.(i)) units;
+  Array.to_list buckets |> List.filter (fun g -> g <> [])
+
+let crossover rng a b =
+  (* inject a random selection of B's groups into A *)
+  let injected = List.filter (fun _ -> Random.State.bool rng) b.g_groups in
+  if injected = [] then a
+  else begin
+    let injected_units = List.concat injected in
+    let remaining =
+      List.filter_map
+        (fun g ->
+          match List.filter (fun u -> not (List.mem u injected_units)) g with
+          | [] -> None
+          | g' -> Some g')
+        a.g_groups
+    in
+    (* units of A fissioned differently than B could mismatch; keep the
+       union of fissioned sets and drop stale unit names *)
+    { g_groups = remaining @ injected; g_fissioned = List.sort_uniq compare (a.g_fissioned @ b.g_fissioned) }
+  end
+
+let mutate rng tbl genome =
+  let groups = Array.of_list genome.g_groups in
+  let n = Array.length groups in
+  if n = 0 then genome
+  else
+    match Random.State.int rng 5 with
+    | (0 | 1) when n >= 2 -> (
+        (* affinity merge: join two groups that touch a common array --
+           the merges that can actually expose locality *)
+        let arrays_of_group g =
+          List.concat_map
+            (fun u ->
+              match Hashtbl.find_opt tbl u with
+              | Some m -> arrays_of_model m
+              | None -> [])
+            g
+        in
+        let i = Random.State.int rng n in
+        let ai = arrays_of_group groups.(i) in
+        let candidates =
+          List.filteri (fun j _ -> j <> i) (Array.to_list groups)
+          |> List.filteri (fun _ g -> List.exists (fun a -> List.mem a ai) (arrays_of_group g))
+        in
+        match candidates with
+        | [] -> genome
+        | cs ->
+            let pick = List.nth cs (Random.State.int rng (List.length cs)) in
+            let rest =
+              Array.to_list groups |> List.filteri (fun j _ -> j <> i) |> List.filter (fun g -> g <> pick)
+            in
+            { genome with g_groups = (groups.(i) @ pick) :: rest })
+    | 2 when n >= 2 ->
+        (* merge two random groups *)
+        let i = Random.State.int rng n and j = Random.State.int rng n in
+        if i = j then genome
+        else begin
+          let merged = groups.(i) @ groups.(j) in
+          let rest = Array.to_list groups |> List.filteri (fun k _ -> k <> i && k <> j) in
+          { genome with g_groups = merged :: rest }
+        end
+    | 3 ->
+        (* split a random group *)
+        let i = Random.State.int rng n in
+        let g = groups.(i) in
+        if List.length g < 2 then genome
+        else begin
+          let left, right = List.partition (fun _ -> Random.State.bool rng) g in
+          if left = [] || right = [] then genome
+          else begin
+            let rest = Array.to_list groups |> List.filteri (fun k _ -> k <> i) in
+            { genome with g_groups = left :: right :: rest }
+          end
+        end
+    | _ ->
+        (* move one unit to another (possibly new) group *)
+        let i = Random.State.int rng n in
+        let g = groups.(i) in
+        if g = [] then genome
+        else begin
+          let u = List.nth g (Random.State.int rng (List.length g)) in
+          let g' = List.filter (fun x -> x <> u) g in
+          let dest = Random.State.int rng (n + 1) in
+          let rest = Array.to_list groups |> List.mapi (fun k grp -> (k, grp)) in
+          let new_groups =
+            List.filter_map
+              (fun (k, grp) ->
+                let grp = if k = i then g' else grp in
+                let grp = if k = dest then u :: grp else grp in
+                if grp = [] then None else Some grp)
+              rest
+          in
+          let new_groups = if dest = n then [ u ] :: new_groups else new_groups in
+          { genome with g_groups = new_groups }
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(on_generation = fun _ _ -> ()) params problem =
+  let rng = Random.State.make [| params.seed |] in
+  let tbl = model_table problem in
+  let unit_names = List.map (fun (m : Kft_perfmodel.Perfmodel.unit_model) -> m.unit_name) problem.units in
+  let fission_counter = ref 0 in
+  let evaluations = ref 0 in
+  let eval genome =
+    incr evaluations;
+    evaluate params problem tbl fission_counter genome
+  in
+  let initial =
+    List.init params.population (fun i ->
+        if i = 0 then { g_groups = List.map (fun u -> [ u ]) unit_names; g_fissioned = [] }
+        else { g_groups = random_partition rng unit_names; g_fissioned = [] })
+  in
+  let scored = ref (List.map eval initial) in
+  let best = ref (fst (List.hd !scored)) in
+  List.iter (fun (s, _) -> if s.fitness > !best.fitness then best := s) !scored;
+  let history = ref [ (0, !best.fitness) ] in
+  let tournament pop =
+    let n = Array.length pop in
+    let pick () = pop.(Random.State.int rng n) in
+    let rec go k champ =
+      if k = 0 then champ
+      else
+        let c = pick () in
+        go (k - 1) (if (fst c).fitness > (fst champ).fitness then c else champ)
+    in
+    go (params.tournament - 1) (pick ())
+  in
+  for gen = 1 to params.generations do
+    let pop = Array.of_list !scored in
+    Array.sort (fun (a, _) (b, _) -> compare b.fitness a.fitness) pop;
+    let elite =
+      Array.to_list (Array.sub pop 0 (min params.elitism (Array.length pop)))
+    in
+    let children = ref [] in
+    while List.length !children < params.population - List.length elite do
+      let _, ga = tournament pop in
+      let child =
+        if Random.State.float rng 1.0 < params.crossover_rate then begin
+          let _, gb = tournament pop in
+          crossover rng ga gb
+        end
+        else ga
+      in
+      let child =
+        if Random.State.float rng 1.0 < params.mutation_rate then mutate rng tbl child else child
+      in
+      children := eval child :: !children
+    done;
+    scored := elite @ !children;
+    List.iter
+      (fun (s, _) ->
+        if s.fitness > !best.fitness then begin
+          best := s;
+          history := (gen, s.fitness) :: !history
+        end)
+      !scored;
+    on_generation gen !best
+  done;
+  let final = !best.fitness in
+  let converged_at =
+    let thr = final -. (Float.abs final *. 0.001) in
+    List.fold_left (fun acc (gen, f) -> if f >= thr then min acc gen else acc) params.generations
+      !history
+  in
+  {
+    best = !best;
+    history = List.rev !history;
+    fission_events = !fission_counter;
+    avg_fissions_per_generation =
+      float_of_int !fission_counter /. float_of_int (max 1 params.generations);
+    converged_at;
+    evaluations = !evaluations;
+  }

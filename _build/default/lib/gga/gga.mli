@@ -1,0 +1,77 @@
+(** Customized Grouped Genetic Algorithm (Sections 2, 4.1, 5.4).
+
+    Individuals are partitions of the target kernel invocations into
+    fusion groups; the grouping-aware operators (Falkenauer-style group
+    injection crossover, split/merge/move mutation) manipulate groups,
+    not genes, so offspring remain valid partitions.
+
+    Fitness is the projected-GFLOPS objective penalized per the dynamic
+    penalty function of Section 4.1: each violated constraint adds a
+    constant penalty [C_i]; a violated shared-memory capacity constraint
+    is *relaxed* when some member can be fissioned — lazy fission
+    replaces the member by its pre-profiled parts (keeping in the group
+    only the parts that share data with the rest) — and penalized harder
+    ([c_sm_stuck]) when no member can. *)
+
+type params = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+  elitism : int;
+  seed : int;
+  c_violation : float;  (** [C_i]: penalty per violated precedence/subset constraint *)
+  c_sm_stuck : float;  (** penalty when the shared-memory constraint is violated and no fission can relax it *)
+  fission_enabled : bool;  (** lazy fission on/off (ablation) *)
+}
+
+val default_params : params
+(** The paper's defaults: population 100, 500 generations. *)
+
+val params_to_text : params -> string
+
+val params_of_text : string -> params
+(** Round-trip of the parameter file the programmer may edit
+    (Section 3.2.4). Raises [Failure] on malformed input. *)
+
+type problem = {
+  units : Kft_perfmodel.Perfmodel.unit_model list;
+      (** target kernel invocations (filtered; in schedule order) *)
+  fission_parts : (string * Kft_perfmodel.Perfmodel.unit_model list) list;
+      (** lazy-fission pre-step: per fissionable kernel, the models of
+          its parts (each part name is unique) *)
+  part_arrays : (string * string list) list;
+      (** host arrays touched per fission part (to decide which parts
+          stay in the violating group) *)
+  feasible : string list -> bool;
+      (** may this set of units be fused? (OEG quotient acyclicity) *)
+  solution_feasible : groups:string list list -> fissioned:string list -> bool;
+      (** joint schedulability of a whole solution: contracting every
+          group simultaneously must leave the OEG acyclic (two
+          individually feasible groups can still deadlock each other) *)
+  objective : Kft_perfmodel.Perfmodel.unit_model list list -> float;
+      (** black-box solution objective, higher is better (projected GFLOPS) *)
+  shared_ok : Kft_perfmodel.Perfmodel.unit_model list -> bool;
+      (** does the group's staging footprint fit per-block shared memory? *)
+}
+
+type solution = {
+  groups : string list list;
+  fissioned : string list;  (** original kernels replaced by their parts *)
+  fitness : float;
+  raw_objective : float;
+  violations : int;
+}
+
+type result = {
+  best : solution;
+  history : (int * float) list;  (** (generation, best fitness) when improved *)
+  fission_events : int;
+  avg_fissions_per_generation : float;
+  converged_at : int;  (** first generation within 0.1 % of the final best *)
+  evaluations : int;
+}
+
+val run : ?on_generation:(int -> solution -> unit) -> params -> problem -> result
+(** Deterministic for a fixed [params.seed]. *)

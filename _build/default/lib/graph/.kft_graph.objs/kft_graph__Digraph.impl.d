@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Buffer Hashtbl List Option Printf Queue String

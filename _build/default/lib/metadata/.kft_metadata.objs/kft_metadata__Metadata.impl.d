@@ -1,0 +1,1 @@
+lib/metadata/metadata.ml: Buffer Filename Fun Hashtbl Kft_analysis Kft_cuda Kft_device Kft_sim List Option Printf String

@@ -1,0 +1,1 @@
+lib/metadata/metadata.mli: Kft_cuda Kft_device Kft_sim

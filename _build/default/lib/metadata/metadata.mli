@@ -1,0 +1,74 @@
+(** The three metadata files of Section 3.2.1.
+
+    After the gathering stage the framework writes (1) performance
+    metadata quantifying metrics and device utilization per original
+    kernel, (2) operations metadata describing the stencil operations,
+    and (3) device metadata. Each is a typed value with a text
+    round-trip so the programmer can amend the files between stages. *)
+
+type perf_entry = {
+  kernel : string;
+  runtime_us : float;
+  flops : float;
+  bytes : float;  (** global-memory traffic *)
+  effective_bw_gbs : float;
+  shared_per_block : int;  (** bytes *)
+  regs_per_thread : int;
+  active_threads : int;
+  active_blocks_per_sm : int;
+  occupancy : float;
+  divergence : float;
+}
+
+type array_op = {
+  array : string;  (** host array name *)
+  reads : int;  (** distinct read offsets *)
+  writes : int;
+  radius : int * int * int;
+  array_flops : float;  (** FLOPs related to this data array (per thread) *)
+}
+
+type loop_op = { loop_var : string; trip : int; vertical : bool }
+
+type ops_entry = {
+  o_kernel : string;
+  domain : int * int * int;
+  block : int * int * int;
+  arrays : array_op list;
+  loops : loop_op list;
+  nest_depth : int;
+  active_fraction : float;
+  stride : int;  (** unit-stride accesses in the canonical mapping *)
+  shared_arrays : string list;  (** arrays also touched by other kernels *)
+  irregular : string option;  (** why the kernel fell outside the subset, when it did *)
+}
+
+type t = {
+  performance : perf_entry list;
+  operations : ops_entry list;
+  device : Kft_device.Device.t;
+}
+
+val gather :
+  ?seed:int -> Kft_device.Device.t -> Kft_cuda.Ast.program -> t * Kft_sim.Profiler.run
+(** The metadata-gathering stage: one instrumented run on the simulated
+    device plus static analysis of every kernel. *)
+
+val find_perf : t -> string -> perf_entry
+(** Raises [Not_found]. *)
+
+val find_ops : t -> string -> ops_entry
+
+val perf_to_text : perf_entry list -> string
+
+val perf_of_text : string -> perf_entry list
+(** Raises [Failure] with a line-oriented message on malformed input. *)
+
+val ops_to_text : ops_entry list -> string
+
+val ops_of_text : string -> ops_entry list
+
+val to_files : t -> dir:string -> unit
+(** Write [performance.meta], [operations.meta] and [device.meta]. *)
+
+val of_files : dir:string -> t

@@ -1,0 +1,1 @@
+lib/perfmodel/perfmodel.ml: Float Hashtbl Kft_device Kft_metadata List Option

@@ -1,0 +1,1 @@
+lib/perfmodel/perfmodel.mli: Kft_device Kft_metadata

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Float Hashtbl Kft_cuda List Memory Printf

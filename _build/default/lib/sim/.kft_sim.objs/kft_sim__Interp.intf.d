@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Kft_cuda Memory

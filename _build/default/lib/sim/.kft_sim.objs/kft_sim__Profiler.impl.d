@@ -1,0 +1,1 @@
+lib/sim/profiler.ml: Interp Kft_analysis Kft_cuda List Memory Timing

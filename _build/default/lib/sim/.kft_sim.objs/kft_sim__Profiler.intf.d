@@ -1,0 +1,1 @@
+lib/sim/profiler.mli: Interp Kft_analysis Kft_cuda Kft_device Memory Timing

@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Float Interp Kft_device

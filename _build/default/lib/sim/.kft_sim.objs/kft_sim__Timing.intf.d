@@ -1,0 +1,1 @@
+lib/sim/timing.mli: Interp Kft_device

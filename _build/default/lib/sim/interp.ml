@@ -1,0 +1,689 @@
+open Kft_cuda.Ast
+
+type stats = {
+  mutable global_read_bytes : int;
+  mutable global_write_bytes : int;
+  mutable flops : float;
+  mutable warp_cond_evals : int;
+  mutable divergent_warp_cond_evals : int;
+  mutable shared_hazards : int;
+  mutable threads_launched : int;
+  mutable threads_active : int;
+  shared_bytes_per_block : int;
+  blocks_launched : int;
+}
+
+let divergence_fraction s =
+  if s.warp_cond_evals = 0 then 0.0
+  else float_of_int s.divergent_warp_cond_evals /. float_of_int s.warp_cond_evals
+
+exception Sim_error of { kernel : string; message : string }
+
+exception Thread_exit
+
+(* ------------------------------------------------------------------ *)
+(* Compilation environment                                             *)
+(* ------------------------------------------------------------------ *)
+
+type binding =
+  | Const_int of int
+  | Const_float of float
+  | Int_slot of int
+  | Float_slot of int
+  | Global of float array
+  | Shared of int * int list  (* slot, declared dims *)
+
+type st = {
+  kernel_name : string;
+  bx : int;
+  by : int;
+  bz : int;
+  nthreads : int;
+  txs : int array;
+  tys : int array;
+  tzs : int array;
+  mutable bix : int;
+  mutable biy : int;
+  mutable biz : int;
+  iregs : int array array;  (* slot-major: iregs.(slot).(thread) *)
+  fregs : float array array;
+  shmem : float array array;
+  sh_writer : int array array;
+  sh_epoch : int array array;
+  mutable epoch : int;
+  alive : bool array;
+  stats : stats;
+  read_flags : (string, bool ref) Hashtbl.t;
+  write_flags : (string, bool ref) Hashtbl.t;
+}
+
+let err st msg = raise (Sim_error { kernel = st.kernel_name; message = msg })
+
+let usage_flag tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref false in
+      Hashtbl.replace tbl name r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Type inference over the subset                                      *)
+(* ------------------------------------------------------------------ *)
+
+type ety = EInt | EFloat
+
+let join a b = match (a, b) with EInt, EInt -> EInt | _ -> EFloat
+
+let rec ty_of lookup e =
+  match e with
+  | Int_lit _ -> EInt
+  | Double_lit _ -> EFloat
+  | Builtin _ -> EInt
+  | Var v -> (
+      match lookup v with
+      | Const_int _ | Int_slot _ -> EInt
+      | Const_float _ | Float_slot _ -> EFloat
+      | Global _ | Shared _ -> EFloat)
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) -> join (ty_of lookup a) (ty_of lookup b)
+  | Binop (_, _, _) -> EInt
+  | Unop (Not, _) -> EInt
+  | Unop (Neg, a) -> ty_of lookup a
+  | Index _ -> EFloat
+  | Call (("min" | "max" | "abs"), args) ->
+      List.fold_left (fun acc a -> join acc (ty_of lookup a)) EInt args
+  | Call _ -> EFloat
+  | Ternary (_, a, b) -> join (ty_of lookup a) (ty_of lookup b)
+
+(* static flop count of an expression (arithmetic on any operands;
+   integer index arithmetic is excluded by construction because we only
+   charge flops for float-typed subtrees) *)
+let rec float_flops lookup e =
+  match ty_of lookup e with
+  | EInt -> 0
+  | EFloat -> (
+      match e with
+      | Int_lit _ | Double_lit _ | Var _ | Builtin _ | Index _ -> 0
+      | Binop ((Add | Sub | Mul | Div | Mod), a, b) ->
+          1 + float_flops lookup a + float_flops lookup b
+      | Binop (_, a, b) -> float_flops lookup a + float_flops lookup b
+      | Unop (_, a) -> float_flops lookup a
+      | Call ("fma", args) -> 2 + List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
+      | Call (("sqrt" | "exp" | "log" | "pow" | "sin" | "cos"), args) ->
+          4 + List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
+      | Call (_, args) -> List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
+      | Ternary (c, a, b) ->
+          float_flops lookup c + max (float_flops lookup a) (float_flops lookup b))
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shared_addr st dims idx_fns name t =
+  let rec go dims fns acc =
+    match (dims, fns) with
+    | [], [] -> acc
+    | d :: dims', f :: fns' ->
+        let i = f t in
+        if i < 0 || i >= d then
+          err st (Printf.sprintf "shared array %s index %d out of bounds [0,%d)" name i d)
+        else go dims' fns' ((acc * d) + i)
+    | _ -> err st (Printf.sprintf "shared array %s: wrong number of indices" name)
+  in
+  go dims idx_fns 0
+
+let rec compile_int st lookup e : int -> int =
+  match e with
+  | Int_lit i -> fun _ -> i
+  | Builtin b -> (
+      let { txs; tys; tzs; _ } = st in
+      match b with
+      | Thread_idx X -> fun t -> txs.(t)
+      | Thread_idx Y -> fun t -> tys.(t)
+      | Thread_idx Z -> fun t -> tzs.(t)
+      | Block_idx X -> fun _ -> st.bix
+      | Block_idx Y -> fun _ -> st.biy
+      | Block_idx Z -> fun _ -> st.biz
+      | Block_dim _ | Grid_dim _ -> err st "blockDim/gridDim must be compiled to constants")
+  | Var v -> (
+      match lookup v with
+      | Const_int i -> fun _ -> i
+      | Int_slot s ->
+          let arr = st.iregs.(s) in
+          fun t -> arr.(t)
+      | Const_float _ | Float_slot _ -> err st (Printf.sprintf "variable %s used as integer but is double" v)
+      | Global _ | Shared _ -> err st (Printf.sprintf "array %s used as scalar" v))
+  | Binop (op, a, b) -> (
+      let fa = compile_int st lookup a and fb = compile_int st lookup b in
+      match op with
+      | Add -> fun t -> fa t + fb t
+      | Sub -> fun t -> fa t - fb t
+      | Mul -> fun t -> fa t * fb t
+      | Div ->
+          fun t ->
+            let d = fb t in
+            if d = 0 then err st "integer division by zero" else fa t / d
+      | Mod ->
+          fun t ->
+            let d = fb t in
+            if d = 0 then err st "integer modulo by zero" else fa t mod d
+      | Lt -> fun t -> if fa t < fb t then 1 else 0
+      | Le -> fun t -> if fa t <= fb t then 1 else 0
+      | Gt -> fun t -> if fa t > fb t then 1 else 0
+      | Ge -> fun t -> if fa t >= fb t then 1 else 0
+      | Eq -> fun t -> if fa t = fb t then 1 else 0
+      | Ne -> fun t -> if fa t <> fb t then 1 else 0
+      | And -> fun t -> if fa t <> 0 && fb t <> 0 then 1 else 0
+      | Or -> fun t -> if fa t <> 0 || fb t <> 0 then 1 else 0)
+  | Unop (Neg, a) ->
+      let f = compile_int st lookup a in
+      fun t -> -f t
+  | Unop (Not, a) ->
+      let f = compile_int st lookup a in
+      fun t -> if f t = 0 then 1 else 0
+  | Call ("min", [ a; b ]) ->
+      let fa = compile_int st lookup a and fb = compile_int st lookup b in
+      fun t -> min (fa t) (fb t)
+  | Call ("max", [ a; b ]) ->
+      let fa = compile_int st lookup a and fb = compile_int st lookup b in
+      fun t -> max (fa t) (fb t)
+  | Call ("abs", [ a ]) ->
+      let f = compile_int st lookup a in
+      fun t -> abs (f t)
+  | Ternary (c, a, b) ->
+      let fc = compile_int st lookup c
+      and fa = compile_int st lookup a
+      and fb = compile_int st lookup b in
+      fun t -> if fc t <> 0 then fa t else fb t
+  | Double_lit _ -> err st "double literal in integer context"
+  | Index (a, _) -> err st (Printf.sprintf "array %s read in integer context" a)
+  | Call (f, _) -> err st (Printf.sprintf "call to %s in integer context" f)
+
+(* Comparison/logic over possibly-float operands, yielding int 0/1. *)
+and compile_cond st lookup e : int -> int =
+  match e with
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b)
+    when join (ty_of lookup a) (ty_of lookup b) = EFloat ->
+      let fa = compile_float st lookup a and fb = compile_float st lookup b in
+      let cmp : float -> float -> bool =
+        match op with
+        | Lt -> ( < )
+        | Le -> ( <= )
+        | Gt -> ( > )
+        | Ge -> ( >= )
+        | Eq -> ( = )
+        | Ne -> ( <> )
+        | _ -> assert false
+      in
+      fun t -> if cmp (fa t) (fb t) then 1 else 0
+  | Binop (And, a, b) ->
+      let fa = compile_cond st lookup a and fb = compile_cond st lookup b in
+      fun t -> if fa t <> 0 && fb t <> 0 then 1 else 0
+  | Binop (Or, a, b) ->
+      let fa = compile_cond st lookup a and fb = compile_cond st lookup b in
+      fun t -> if fa t <> 0 || fb t <> 0 then 1 else 0
+  | Unop (Not, a) ->
+      let f = compile_cond st lookup a in
+      fun t -> if f t = 0 then 1 else 0
+  | e -> compile_int st lookup e
+
+and compile_float st lookup e : int -> float =
+  match ty_of lookup e with
+  | EInt ->
+      let f = compile_int st lookup e in
+      fun t -> float_of_int (f t)
+  | EFloat -> (
+      match e with
+      | Double_lit f -> fun _ -> f
+      | Var v -> (
+          match lookup v with
+          | Const_float f -> fun _ -> f
+          | Float_slot s ->
+              let arr = st.fregs.(s) in
+              fun t -> arr.(t)
+          | Const_int i -> fun _ -> float_of_int i
+          | Int_slot s ->
+              let arr = st.iregs.(s) in
+              fun t -> float_of_int arr.(t)
+          | Global _ | Shared _ -> err st (Printf.sprintf "array %s used as scalar" v))
+      | Index (a, idxs) -> (
+          match lookup a with
+          | Global data ->
+              let idx =
+                match idxs with
+                | [ i ] -> compile_int st lookup i
+                | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
+              in
+              let n = Array.length data in
+              let stats = st.stats in
+              let touched = usage_flag st.read_flags a in
+              fun t ->
+                let i = idx t in
+                if i < 0 || i >= n then
+                  err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
+                else begin
+                  stats.global_read_bytes <- stats.global_read_bytes + 8;
+                  touched := true;
+                  data.(i)
+                end
+          | Shared (slot, dims) ->
+              let idx_fns = List.map (compile_int st lookup) idxs in
+              let stats = st.stats in
+              fun t ->
+                let addr = shared_addr st dims idx_fns a t in
+                if st.sh_epoch.(slot).(addr) = st.epoch && st.sh_writer.(slot).(addr) <> t
+                   && st.sh_writer.(slot).(addr) >= 0
+                then stats.shared_hazards <- stats.shared_hazards + 1;
+                st.shmem.(slot).(addr)
+          | _ -> err st (Printf.sprintf "%s indexed but is not an array" a))
+      | Binop (op, a, b) -> (
+          let fa = compile_float st lookup a and fb = compile_float st lookup b in
+          match op with
+          | Add -> fun t -> fa t +. fb t
+          | Sub -> fun t -> fa t -. fb t
+          | Mul -> fun t -> fa t *. fb t
+          | Div -> fun t -> fa t /. fb t
+          | Mod -> fun t -> Float.rem (fa t) (fb t)
+          | _ -> err st "comparison in float context")
+      | Unop (Neg, a) ->
+          let f = compile_float st lookup a in
+          fun t -> -.f t
+      | Unop (Not, _) -> err st "logical not in float context"
+      | Ternary (c, a, b) ->
+          let fc = compile_cond st lookup c
+          and fa = compile_float st lookup a
+          and fb = compile_float st lookup b in
+          fun t -> if fc t <> 0 then fa t else fb t
+      | Call (fname, args) -> (
+          let fargs = List.map (compile_float st lookup) args in
+          match (fname, fargs) with
+          | ("sqrt", [ a ]) -> fun t -> sqrt (a t)
+          | ("fabs", [ a ]) | ("abs", [ a ]) -> fun t -> Float.abs (a t)
+          | ("exp", [ a ]) -> fun t -> exp (a t)
+          | ("log", [ a ]) -> fun t -> log (a t)
+          | ("sin", [ a ]) -> fun t -> sin (a t)
+          | ("cos", [ a ]) -> fun t -> cos (a t)
+          | ("pow", [ a; b ]) -> fun t -> Float.pow (a t) (b t)
+          | (("min" | "fmin"), [ a; b ]) -> fun t -> Float.min (a t) (b t)
+          | (("max" | "fmax"), [ a; b ]) -> fun t -> Float.max (a t) (b t)
+          | ("fma", [ a; b; c ]) -> fun t -> Float.fma (a t) (b t) (c t)
+          | _ ->
+              err st
+                (Printf.sprintf "unsupported function %s/%d" fname (List.length args)))
+      | Int_lit _ | Builtin _ -> assert false (* EInt-typed *))
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type cstmt =
+  | Leaf of { fn : int -> unit; cond : (int -> int) option }
+  | CIf of (int -> int) * cstmt list * cstmt list
+  | CFor of {
+      set : int -> int -> unit;  (* thread -> value -> () *)
+      get_lo : int -> int;
+      get_hi : int -> int;
+      step : int;
+      body : cstmt list;
+    }
+  | CSync
+
+let has_sync stmts =
+  fold_stmts (fun acc s -> acc || s = Syncthreads) false stmts
+
+(* compile a statement list into a single per-thread closure (no syncs
+   inside, guaranteed by caller) *)
+let rec compile_thread_fn st lookup stmts : int -> unit =
+  let fns = List.map (compile_thread_stmt st lookup) stmts in
+  match fns with
+  | [ f ] -> f
+  | fns -> fun t -> List.iter (fun f -> f t) fns
+
+and compile_thread_stmt st lookup s : int -> unit =
+  let stats = st.stats in
+  match s with
+  | Decl (_, v, None) ->
+      ignore (lookup v);
+      fun _ -> ()
+  | Decl (_, v, Some e) | Assign (Lvar v, e) -> (
+      match lookup v with
+      | Int_slot slot ->
+          let f = compile_int st lookup e in
+          let arr = st.iregs.(slot) in
+          fun t -> arr.(t) <- f t
+      | Float_slot slot ->
+          let f = compile_float st lookup e in
+          let flops = float_flops lookup e in
+          let arr = st.fregs.(slot) in
+          fun t ->
+            arr.(t) <- f t;
+            stats.flops <- stats.flops +. float_of_int flops
+      | _ -> err st (Printf.sprintf "assignment to non-scalar %s" v))
+  | Assign (Lindex (a, idxs), e) -> (
+      match lookup a with
+      | Global data ->
+          let idx =
+            match idxs with
+            | [ i ] -> compile_int st lookup i
+            | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
+          in
+          let rhs = compile_float st lookup e in
+          let flops = float_flops lookup e in
+          let n = Array.length data in
+          let touched = usage_flag st.write_flags a in
+          fun t ->
+            let i = idx t in
+            if i < 0 || i >= n then
+              err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
+            else begin
+              data.(i) <- rhs t;
+              stats.global_write_bytes <- stats.global_write_bytes + 8;
+              stats.flops <- stats.flops +. float_of_int flops;
+              touched := true
+            end
+      | Shared (slot, dims) ->
+          let idx_fns = List.map (compile_int st lookup) idxs in
+          let rhs = compile_float st lookup e in
+          let flops = float_flops lookup e in
+          fun t ->
+            let addr = shared_addr st dims idx_fns a t in
+            st.shmem.(slot).(addr) <- rhs t;
+            st.sh_writer.(slot).(addr) <- t;
+            st.sh_epoch.(slot).(addr) <- st.epoch;
+            stats.flops <- stats.flops +. float_of_int flops
+      | _ -> err st (Printf.sprintf "%s is not an array" a))
+  | If (c, tb, eb) ->
+      let fc = compile_cond st lookup c in
+      let ft = compile_thread_fn st lookup tb and fe = compile_thread_fn st lookup eb in
+      fun t -> if fc t <> 0 then ft t else fe t
+  | For l -> (
+      match lookup l.index with
+      | Int_slot slot ->
+          let flo = compile_int st lookup l.lo and fhi = compile_int st lookup l.hi in
+          let body = compile_thread_fn st lookup l.body in
+          let arr = st.iregs.(slot) in
+          let step = l.step in
+          fun t ->
+            let hi = fhi t in
+            arr.(t) <- flo t;
+            while arr.(t) < hi do
+              body t;
+              arr.(t) <- arr.(t) + step
+            done
+      | _ -> err st (Printf.sprintf "loop index %s is not an int slot" l.index))
+  | Return -> fun t -> st.alive.(t) <- false; raise Thread_exit
+  | Shared_decl _ -> fun _ -> ()
+  | Syncthreads -> err st "internal: __syncthreads inside a per-thread region"
+
+let rec compile_stmt st lookup s : cstmt =
+  if not (has_sync [ s ]) then
+    let cond =
+      match s with If (c, _, _) -> Some (compile_cond st lookup c) | _ -> None
+    in
+    Leaf { fn = compile_thread_stmt st lookup s; cond }
+  else
+    match s with
+    | Syncthreads -> CSync
+    | If (c, tb, eb) ->
+        CIf (compile_cond st lookup c, compile_stmts st lookup tb, compile_stmts st lookup eb)
+    | For l -> (
+        match lookup l.index with
+        | Int_slot slot ->
+            let arr = st.iregs.(slot) in
+            CFor
+              {
+                set = (fun t v -> arr.(t) <- v);
+                get_lo = compile_int st lookup l.lo;
+                get_hi = compile_int st lookup l.hi;
+                step = l.step;
+                body = compile_stmts st lookup l.body;
+              }
+        | _ -> err st (Printf.sprintf "loop index %s is not an int slot" l.index))
+    | _ -> err st "internal: unexpected sync-carrying statement"
+
+and compile_stmts st lookup stmts = List.map (compile_stmt st lookup) stmts
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let record_divergence st cond =
+  let stats = st.stats in
+  let n = st.nthreads in
+  let warp_count = (n + 31) / 32 in
+  for w = 0 to warp_count - 1 do
+    let ones = ref 0 and zeros = ref 0 in
+    for t = w * 32 to min n ((w + 1) * 32) - 1 do
+      if st.alive.(t) then if cond t <> 0 then incr ones else incr zeros
+    done;
+    if !ones + !zeros > 0 then begin
+      stats.warp_cond_evals <- stats.warp_cond_evals + 1;
+      if !ones > 0 && !zeros > 0 then
+        stats.divergent_warp_cond_evals <- stats.divergent_warp_cond_evals + 1
+    end
+  done
+
+let first_alive st =
+  let rec go t = if t >= st.nthreads then None else if st.alive.(t) then Some t else go (t + 1) in
+  go 0
+
+let rec exec_lockstep st cstmts = List.iter (exec_cstmt st) cstmts
+
+and exec_cstmt st c =
+  match c with
+  | CSync -> st.epoch <- st.epoch + 1
+  | Leaf { fn; cond } ->
+      (match cond with Some f -> record_divergence st f | None -> ());
+      for t = 0 to st.nthreads - 1 do
+        if st.alive.(t) then try fn t with Thread_exit -> ()
+      done
+  | CIf (cond, tb, eb) -> (
+      match first_alive st with
+      | None -> ()
+      | Some t0 ->
+          let v0 = cond t0 <> 0 in
+          for t = 0 to st.nthreads - 1 do
+            if st.alive.(t) && cond t <> 0 <> v0 then
+              err st "barrier divergence: non-uniform condition guards a __syncthreads region"
+          done;
+          exec_lockstep st (if v0 then tb else eb))
+  | CFor { set; get_lo; get_hi; step; body } -> (
+      match first_alive st with
+      | None -> ()
+      | Some t0 ->
+          let lo = get_lo t0 and hi = get_hi t0 in
+          for t = 0 to st.nthreads - 1 do
+            if st.alive.(t) && (get_lo t <> lo || get_hi t <> hi) then
+              err st "barrier divergence: non-uniform loop bounds around a __syncthreads region"
+          done;
+          let v = ref lo in
+          while !v < hi do
+            for t = 0 to st.nthreads - 1 do
+              if st.alive.(t) then set t !v
+            done;
+            exec_lockstep st body;
+            v := !v + step
+          done)
+
+(* ------------------------------------------------------------------ *)
+(* Launch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let collect_scalar_slots kernel_name body params =
+  (* name -> ety, slot index; loop indices and decls *)
+  let table : (string, binding) Hashtbl.t = Hashtbl.create 32 in
+  let int_slots = ref 0 and float_slots = ref 0 in
+  let add_var name ety =
+    match Hashtbl.find_opt table name with
+    | Some (Int_slot _) when ety = EInt -> ()
+    | Some (Float_slot _) when ety = EFloat -> ()
+    | Some _ ->
+        raise
+          (Sim_error
+             {
+               kernel = kernel_name;
+               message = Printf.sprintf "variable %s redeclared with a different type" name;
+             })
+    | None ->
+        let b =
+          match ety with
+          | EInt ->
+              incr int_slots;
+              Int_slot (!int_slots - 1)
+          | EFloat ->
+              incr float_slots;
+              Float_slot (!float_slots - 1)
+        in
+        Hashtbl.replace table name b
+  in
+  ignore params;
+  let shared_slots = ref [] in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Decl (Int, v, _) | Decl (Bool, v, _) -> add_var v EInt
+        | Decl (Double, v, _) -> add_var v EFloat
+        | Shared_decl (_, n, dims) ->
+            if not (List.mem_assoc n !shared_slots) then
+              shared_slots := !shared_slots @ [ (n, dims) ]
+        | For l ->
+            add_var l.index EInt;
+            walk l.body
+        | If (_, t, e) ->
+            walk t;
+            walk e
+        | Assign _ | Syncthreads | Return -> ())
+      stmts
+  in
+  walk body;
+  (table, !int_slots, !float_slots, !shared_slots)
+
+(* the flags are keyed by PARAMETER names; translate to host array names *)
+let observed_usage st (kernel : kernel) args =
+  let binding = bind_args kernel args in
+  let host p = match List.assoc_opt p binding with Some (Arg_array h) -> Some h | _ -> None in
+  let collect tbl =
+    Hashtbl.fold (fun p r acc -> if !r then match host p with Some h -> h :: acc | None -> acc else acc) tbl []
+    |> List.sort_uniq compare
+  in
+  (collect st.read_flags, collect st.write_flags)
+
+let launch_ext mem prog (l : launch) =
+  let kernel = find_kernel prog l.l_kernel in
+  let bound = bind_args kernel l.l_args in
+  let bx, by, bz = l.l_block in
+  let gx, gy, gz = grid_of_launch l in
+  let nthreads = bx * by * bz in
+  if nthreads <= 0 then raise (Sim_error { kernel = l.l_kernel; message = "empty thread block" });
+  let table, n_int, n_float, shared_decls =
+    collect_scalar_slots kernel.k_name kernel.k_body kernel.k_params
+  in
+  (* parameters become constants / array bindings *)
+  List.iter
+    (fun (p, a) ->
+      let b =
+        match (p, a) with
+        | _, Arg_array host -> (
+            match Memory.get mem host with
+            | data -> Global data
+            | exception Not_found ->
+                raise
+                  (Sim_error
+                     { kernel = kernel.k_name; message = "unknown device array " ^ host }))
+        | _, Arg_int i -> Const_int i
+        | _, Arg_double f -> Const_float f
+      in
+      Hashtbl.replace table p b)
+    (List.map2 (fun p a -> (param_name p, a)) kernel.k_params l.l_args);
+  ignore bound;
+  List.iteri
+    (fun i (n, dims) -> Hashtbl.replace table n (Shared (i, dims)))
+    shared_decls;
+  let shared_bytes =
+    List.fold_left (fun acc (_, dims) -> acc + (8 * List.fold_left ( * ) 1 dims)) 0 shared_decls
+  in
+  let blocks = gx * gy * gz in
+  let stats =
+    {
+      global_read_bytes = 0;
+      global_write_bytes = 0;
+      flops = 0.0;
+      warp_cond_evals = 0;
+      divergent_warp_cond_evals = 0;
+      shared_hazards = 0;
+      threads_launched = nthreads * blocks;
+      threads_active = 0;
+      shared_bytes_per_block = shared_bytes;
+      blocks_launched = blocks;
+    }
+  in
+  let txs = Array.init nthreads (fun t -> t mod bx)
+  and tys = Array.init nthreads (fun t -> t / bx mod by)
+  and tzs = Array.init nthreads (fun t -> t / (bx * by)) in
+  let st =
+    {
+      kernel_name = kernel.k_name;
+      bx; by; bz;
+      nthreads;
+      txs; tys; tzs;
+      bix = 0; biy = 0; biz = 0;
+      iregs = Array.init n_int (fun _ -> Array.make nthreads 0);
+      fregs = Array.init n_float (fun _ -> Array.make nthreads 0.0);
+      shmem = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) 0.0) shared_decls);
+      sh_writer = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) (-1)) shared_decls);
+      sh_epoch = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) (-1)) shared_decls);
+      epoch = 0;
+      alive = Array.make nthreads true;
+      stats;
+      read_flags = Hashtbl.create 8;
+      write_flags = Hashtbl.create 8;
+    }
+  in
+  (* substitute blockDim/gridDim by constants before compiling *)
+  let body =
+    map_exprs_in_stmts
+      (function
+        | Builtin (Block_dim X) -> Int_lit bx
+        | Builtin (Block_dim Y) -> Int_lit by
+        | Builtin (Block_dim Z) -> Int_lit bz
+        | Builtin (Grid_dim X) -> Int_lit gx
+        | Builtin (Grid_dim Y) -> Int_lit gy
+        | Builtin (Grid_dim Z) -> Int_lit gz
+        | e -> e)
+      kernel.k_body
+  in
+  let lookup v =
+    match Hashtbl.find_opt table v with
+    | Some b -> b
+    | None -> err st (Printf.sprintf "unbound identifier %s" v)
+  in
+  let compiled = compile_stmts st lookup body in
+  for biz = 0 to gz - 1 do
+    for biy = 0 to gy - 1 do
+      for bix = 0 to gx - 1 do
+        st.bix <- bix;
+        st.biy <- biy;
+        st.biz <- biz;
+        Array.fill st.alive 0 nthreads true;
+        st.epoch <- 0;
+        Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.0) st.shmem;
+        Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_writer;
+        Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_epoch;
+        exec_lockstep st compiled;
+        Array.iter (fun alive -> if alive then stats.threads_active <- stats.threads_active + 1) st.alive
+      done
+    done
+  done;
+  (stats, observed_usage st kernel l.l_args)
+
+let launch mem prog l = fst (launch_ext mem prog l)
+
+let launch_with_usage = launch_ext
+
+let run_schedule mem prog =
+  List.filter_map
+    (function
+      | Launch l -> Some (l, launch mem prog l)
+      | Copy_to_device _ | Copy_to_host _ -> None)
+    prog.p_schedule

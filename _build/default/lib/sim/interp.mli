@@ -1,0 +1,58 @@
+(** Functional GPU simulator: a bulk-synchronous lockstep interpreter
+    for the CUDA subset.
+
+    Execution model: thread blocks run one after another; inside a block,
+    statements that contain no [__syncthreads()] execute thread-by-thread
+    (two observations make this sound for the supported subset: race-free
+    kernels are order-insensitive, and racy ones are undefined behaviour
+    in real CUDA — the hazard detector reports them); statements that do
+    contain a barrier execute in lockstep with uniformity checks, exactly
+    the discipline real CUDA requires of barriers.
+
+    The interpreter doubles as the instrumentation layer of Section 5.1:
+    it counts global traffic, floating-point operations, intra-warp
+    divergence of conditionals and shared-memory hazards, which the
+    profiler turns into the paper's performance metadata. *)
+
+type stats = {
+  mutable global_read_bytes : int;
+  mutable global_write_bytes : int;
+  mutable flops : float;
+  mutable warp_cond_evals : int;
+      (** warp-granularity evaluations of thread-dependent conditionals *)
+  mutable divergent_warp_cond_evals : int;
+  mutable shared_hazards : int;
+      (** same-epoch cross-thread shared-memory read-after-write pairs:
+          potential races a missing barrier would expose *)
+  mutable threads_launched : int;
+  mutable threads_active : int;  (** threads never disabled by [return] and executing at least one write *)
+  shared_bytes_per_block : int;
+  blocks_launched : int;
+}
+
+val divergence_fraction : stats -> float
+
+exception
+  Sim_error of {
+    kernel : string;
+    message : string;
+  }
+(** Out-of-bounds accesses, barrier divergence, unbound names, arity
+    errors. *)
+
+val launch : Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> stats
+(** Execute one kernel launch against device memory, returning its
+    execution statistics. *)
+
+val launch_with_usage :
+  Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch ->
+  stats * (string list * string list)
+(** Like {!launch}, additionally returning the host arrays the launch
+    dynamically (actually) read and wrote. This is the "pre-run to
+    detect the data usage pattern" the paper proposes as the practical
+    answer to pointer aliasing (Section 7): a dynamic ground truth to
+    validate the static dependence analysis against. *)
+
+val run_schedule : Memory.t -> Kft_cuda.Ast.program -> (Kft_cuda.Ast.launch * stats) list
+(** Execute every [Launch] of the program's schedule in order ([Copy_*]
+    markers are no-ops for the simulator: memory is unified). *)

@@ -1,0 +1,68 @@
+open Kft_cuda.Ast
+
+type entry = { data : float array; edims : int list }
+
+type t = (string, entry) Hashtbl.t
+
+let create decls =
+  let t = Hashtbl.create 32 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem t d.a_name then invalid_arg ("Memory.create: duplicate array " ^ d.a_name);
+      if d.a_elem_ty <> Double then
+        invalid_arg ("Memory.create: only double arrays are supported: " ^ d.a_name);
+      Hashtbl.replace t d.a_name { data = Array.make (array_cells d) 0.0; edims = d.a_dims })
+    decls;
+  t
+
+(* splitmix64-style hash, kept in int range *)
+let mix h =
+  let h = h * 0x9E3779B1 land max_int in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85EBCA77 land max_int in
+  h lxor (h lsr 13)
+
+let init_seeded t ~seed =
+  Hashtbl.iter
+    (fun name e ->
+      let name_hash = Hashtbl.hash name in
+      Array.iteri
+        (fun i _ ->
+          let h = mix (seed + (name_hash * 31) + (i * 2654435761)) in
+          (* values in (-1, 1), never exactly 0 to catch masking bugs *)
+          e.data.(i) <- (float_of_int (h land 0xFFFFF) +. 1.0) /. 1048577.0 *. (if h land 0x100000 = 0 then 1.0 else -1.0))
+        e.data)
+    t
+
+let find t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let get t name = (find t name).data
+
+let dims t name = (find t name).edims
+
+let mem t name = Hashtbl.mem t name
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let copy t =
+  let t' = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter (fun k e -> Hashtbl.replace t' k { e with data = Array.copy e.data }) t;
+  t'
+
+let max_abs_diff a b =
+  names a
+  |> List.filter_map (fun n ->
+         if not (mem b n) then None
+         else
+           let da = get a n and db = get b n in
+           if Array.length da <> Array.length db then Some (n, infinity)
+           else begin
+             let m = ref 0.0 in
+             Array.iteri (fun i v -> m := max !m (Float.abs (v -. db.(i)))) da;
+             Some (n, !m)
+           end)
+
+let equal_within ~tol a b = List.for_all (fun (_, d) -> d <= tol) (max_abs_diff a b)

@@ -1,0 +1,36 @@
+(** Device global memory for the GPU simulator.
+
+    Arrays are flat [float array]s addressed by the linearized index the
+    kernels compute; dimensions are kept for reporting and halo checks.
+    Only double-precision arrays are supported — the evaluation of the
+    paper is entirely double precision (Section 6.1.2). *)
+
+type t
+
+val create : Kft_cuda.Ast.array_decl list -> t
+(** Allocate every array, zero-initialized. Raises [Invalid_argument] on
+    duplicate names or non-double element types. *)
+
+val init_seeded : t -> seed:int -> unit
+(** Fill every array with a deterministic pseudo-random pattern derived
+    from [seed] and the array name, so that identical programs started
+    from the same seed are bit-comparable. *)
+
+val get : t -> string -> float array
+(** The backing store of an array. Raises [Not_found]. *)
+
+val dims : t -> string -> int list
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+
+val copy : t -> t
+
+val max_abs_diff : t -> t -> (string * float) list
+(** For every array name present in both memories, the maximum absolute
+    elementwise difference (length mismatches reported as [infinity]).
+    Sorted by name. *)
+
+val equal_within : tol:float -> t -> t -> bool
+(** True when every common array agrees within [tol]. *)

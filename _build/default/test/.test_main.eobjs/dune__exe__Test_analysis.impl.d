@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Kft_analysis Kft_apps Kft_cuda Kft_fission List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Kft_apps Kft_codegen Kft_cuda Kft_fission Kft_sim Lazy List Printf String Util

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Kft_apps Kft_codegen Kft_cuda Kft_sim List Printf String Util

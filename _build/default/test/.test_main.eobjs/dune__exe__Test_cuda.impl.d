@@ -1,0 +1,1 @@
+test/test_cuda.ml: Alcotest Float Kft_cuda List QCheck QCheck_alcotest Util

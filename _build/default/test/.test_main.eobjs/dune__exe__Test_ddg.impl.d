@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Kft_cuda Kft_ddg Kft_graph List Printf String Util

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Kft_device List QCheck QCheck_alcotest String Util

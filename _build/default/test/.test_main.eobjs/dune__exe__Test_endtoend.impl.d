@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Kft_codegen Kft_cuda Kft_framework Kft_gga List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fission.ml: Alcotest Kft_apps Kft_cuda Kft_fission Kft_sim List Option Printf Util

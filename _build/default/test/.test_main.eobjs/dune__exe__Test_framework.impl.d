@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Kft_analysis Kft_apps Kft_cuda Kft_framework Kft_gga Kft_metadata List Printf String Util

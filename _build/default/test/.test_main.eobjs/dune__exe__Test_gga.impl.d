@@ -1,0 +1,1 @@
+test/test_gga.ml: Alcotest Kft_gga Kft_perfmodel List Printf Util

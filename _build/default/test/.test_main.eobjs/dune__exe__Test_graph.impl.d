@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Kft_graph List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_metadata.ml: Alcotest Filename Kft_metadata Lazy List String Sys Unix Util

@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Float Kft_metadata Kft_perfmodel Lazy List Printf Util

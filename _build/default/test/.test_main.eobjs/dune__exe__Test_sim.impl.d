@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Kft_cuda Kft_ddg Kft_sim List Printf Util

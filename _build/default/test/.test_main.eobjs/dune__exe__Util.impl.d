@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Float Fmt Kft_cuda Kft_device Kft_sim List Option Printf

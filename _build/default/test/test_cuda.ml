@@ -1,0 +1,302 @@
+(* CUDA frontend: lexer, parser, printer, AST utilities. *)
+
+open Kft_cuda.Ast
+module P = Kft_cuda.Parse
+module Pp = Kft_cuda.Pp
+module L = Kft_cuda.Lexer
+
+let toks src = List.map fst (L.tokenize src)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count (incl EOF)" 7 (List.length (toks "a = b + 1;"));
+  (match toks "x <= y != z" with
+  | [ L.IDENT "x"; L.LE; L.IDENT "y"; L.NE; L.IDENT "z"; L.EOF ] -> ()
+  | _ -> Alcotest.fail "comparison tokens");
+  match toks "i += 2" with
+  | [ L.IDENT "i"; L.PLUS_ASSIGN; L.INT 2; L.EOF ] -> ()
+  | _ -> Alcotest.fail "compound assign token"
+
+let test_lexer_floats () =
+  (match toks "1.5 2e3 7.25e-2 3.0f" with
+  | [ L.FLOAT a; L.FLOAT b; L.FLOAT c; L.FLOAT d; L.EOF ] ->
+      Util.check_float "1.5" 1.5 a;
+      Util.check_float "2e3" 2000.0 b;
+      Util.check_float "7.25e-2" 0.0725 c;
+      Util.check_float "float suffix" 3.0 d
+  | _ -> Alcotest.fail "float tokens");
+  match toks "42" with [ L.INT 42; L.EOF ] -> () | _ -> Alcotest.fail "int token"
+
+let test_lexer_comments () =
+  Alcotest.(check int) "line comment" 1 (List.length (toks "// nothing here"));
+  Alcotest.(check int) "block comment" 3 (List.length (toks "a /* skip \n me */ b"))
+
+let test_lexer_keywords () =
+  match toks "__global__ void __shared__ __syncthreads __restrict__ float" with
+  | [ L.KW_GLOBAL; L.KW_VOID; L.KW_SHARED; L.KW_SYNCTHREADS; L.KW_RESTRICT; L.KW_DOUBLE; L.EOF ]
+    -> ()
+  | _ -> Alcotest.fail "keywords (float widens to double)"
+
+let test_lexer_error () =
+  match L.tokenize "a @ b" with
+  | (_ : (L.token * int) list) -> Alcotest.fail "expected lex error"
+  | exception L.Lex_error { line = 1; _ } -> ()
+
+let test_expr_precedence () =
+  let e = P.expr "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (e = Binop (Add, Int_lit 1, Binop (Mul, Int_lit 2, Int_lit 3)));
+  let e = P.expr "a && b || c" in
+  Alcotest.(check bool) "and binds tighter" true
+    (e = Binop (Or, Binop (And, Var "a", Var "b"), Var "c"));
+  let e = P.expr "-x * y" in
+  Alcotest.(check bool) "unary minus" true (e = Binop (Mul, Unop (Neg, Var "x"), Var "y"))
+
+let test_expr_ternary_builtin () =
+  let e = P.expr "i < n ? A[i] : 0.0" in
+  (match e with Ternary (_, Index ("A", [ Var "i" ]), Double_lit 0.0) -> () | _ -> Alcotest.fail "ternary");
+  let e = P.expr "blockIdx.x * blockDim.x + threadIdx.x" in
+  match e with
+  | Binop (Add, Binop (Mul, Builtin (Block_idx X), Builtin (Block_dim X)), Builtin (Thread_idx X))
+    -> ()
+  | _ -> Alcotest.fail "builtins"
+
+let test_stmt_forms () =
+  let s = P.stmts "int i = 0; double t; A[i] = t; t += 1.0; __syncthreads(); return;" in
+  Alcotest.(check int) "six statements" 6 (List.length s);
+  (match List.nth s 3 with
+  | Assign (Lvar "t", Binop (Add, Var "t", Double_lit 1.0)) -> ()
+  | _ -> Alcotest.fail "compound assignment desugared");
+  match P.stmts "if (i < n) { A[i] = 0.0; } else A[i] = 1.0;" with
+  | [ If (_, [ _ ], [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "if/else with single-statement else"
+
+let test_for_canonical () =
+  (match P.stmts "for (int k = 1; k < nz; k++) { ; }" with
+  | [ For { index = "k"; lo = Int_lit 1; hi = Var "nz"; step = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "canonical for");
+  (match P.stmts "for (int k = 0; k < 8; k += 2) { ; }" with
+  | [ For { step = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "strided for");
+  (* non-canonical loops are rejected *)
+  match P.stmts "for (int k = 0; j < 8; k++) { ; }" with
+  | (_ : stmt list) -> Alcotest.fail "expected parse error"
+  | exception P.Parse_error _ -> ()
+
+let test_shared_decl () =
+  match P.stmts "__shared__ double s[10][34];" with
+  | [ Shared_decl (Double, "s", [ 10; 34 ]) ] -> ()
+  | _ -> Alcotest.fail "shared decl"
+
+let test_params () =
+  let k =
+    P.kernel "__global__ void f(const double *A, double *__restrict__ B, int n, double c) { ; }"
+  in
+  match k.k_params with
+  | [
+   Array_param { name = "A"; quals = [ Const ]; _ };
+   Array_param { name = "B"; quals = [ Restrict ]; _ };
+   Scalar_param { name = "n"; ty = Int };
+   Scalar_param { name = "c"; ty = Double };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "parameter forms"
+
+let test_parse_errors_located () =
+  match P.kernels "__global__ void f() {\n  garbage garbage;\n}" with
+  | (_ : kernel list) -> Alcotest.fail "expected error"
+  | exception P.Parse_error { line; _ } -> Alcotest.(check int) "line number" 2 line
+
+let test_multiple_kernels () =
+  let ks = P.kernels (Util.stencil_src ~name:"a" ~src:"X" ~dst:"Y" ~margin:1 ~threed:true
+                      ^ Util.pointwise_src ~name:"b" ~a:"Y" ~b:"X" ~dst:"Z") in
+  Alcotest.(check (list string)) "kernel names" [ "a"; "b" ] (List.map (fun k -> k.k_name) ks)
+
+let test_print_parse_roundtrip () =
+  let src = Util.stencil_src ~name:"rt" ~src:"A" ~dst:"B" ~margin:2 ~threed:true in
+  let k = P.kernel src in
+  let k' = P.kernel (Pp.kernel k) in
+  Alcotest.(check bool) "roundtrip equal" true (equal_kernel k k')
+
+let test_negative_literal_print () =
+  (* negative literals must re-parse (parenthesization + folding) *)
+  let e = Binop (Mul, Int_lit (-3), Var "x") in
+  Alcotest.(check bool) "reparses" true (P.expr (Pp.expr e) = e);
+  Alcotest.(check bool) "negative double" true (P.expr "-2.5" = Double_lit (-2.5))
+
+let test_arrays_read_written () =
+  let k = P.kernel (Util.stencil_src ~name:"rw" ~src:"A" ~dst:"B" ~margin:1 ~threed:false) in
+  Alcotest.(check (list string)) "reads" [ "A" ] (arrays_read k.k_body);
+  Alcotest.(check (list string)) "writes" [ "B" ] (arrays_written k.k_body);
+  Alcotest.(check (list string)) "referenced params" [ "A"; "B" ] (referenced_arrays k)
+
+let test_rename () =
+  let body = P.stmts "double t = A[i]; B[i] = t * t;" in
+  let body = rename_var ~old:"t" ~fresh:"t1" body in
+  (match body with
+  | [ Decl (Double, "t1", _); Assign (_, Binop (Mul, Var "t1", Var "t1")) ] -> ()
+  | _ -> Alcotest.fail "scalar rename");
+  let body = rename_array ~old:"B" ~fresh:"B2" body in
+  match List.nth body 1 with
+  | Assign (Lindex ("B2", _), _) -> ()
+  | _ -> Alcotest.fail "array rename"
+
+let test_bind_args () =
+  let k = P.kernel "__global__ void f(double *A, int n, double c) { ; }" in
+  let bound = bind_args k [ Arg_array "hostA"; Arg_int 4; Arg_double 0.5 ] in
+  Alcotest.(check bool) "binding" true
+    (bound = [ ("A", Arg_array "hostA"); ("n", Arg_int 4); ("c", Arg_double 0.5) ]);
+  match bind_args k [ Arg_int 4 ] with
+  | (_ : (string * arg) list) -> Alcotest.fail "arity"
+  | exception Invalid_argument _ -> ()
+
+let test_grid_of_launch () =
+  let l = { l_kernel = "k"; l_domain = (33, 16, 1); l_block = (16, 8, 1); l_args = [] } in
+  Alcotest.(check bool) "ceil division" true (grid_of_launch l = (3, 2, 1))
+
+(* random expression generator for the print/parse roundtrip property *)
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Int_lit (abs i)) small_int;
+        map (fun f -> Double_lit (Float.abs (Float.round (f *. 100.) /. 100.) +. 0.5)) (float_bound_inclusive 10.0);
+        oneofl [ Var "x"; Var "y"; Var "nz"; Builtin (Thread_idx X); Builtin (Block_dim Y) ];
+      ]
+  in
+  let rec gen n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            map3
+              (fun op a b -> Binop (op, a, b))
+              (oneofl [ Add; Sub; Mul; Div; Lt; Ge; And ])
+              (gen (n / 2)) (gen (n / 2)) );
+          (1, map (fun a -> Unop (Neg, a)) (gen (n / 2)));
+          (1, map (fun a -> Index ("A", [ a ])) (gen (n / 2)));
+          (1, map2 (fun a b -> Call ("min", [ a; b ])) (gen (n / 2)) (gen (n / 2)));
+          (1, map3 (fun c a b -> Ternary (c, a, b)) (gen (n / 3)) (gen (n / 3)) (gen (n / 3)));
+        ]
+  in
+  gen 4
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"expr print/parse roundtrip" ~count:300
+    (QCheck.make ~print:Pp.expr expr_gen)
+    (fun e ->
+      (* parsing folds negated literals, so one parse/print cycle
+         normalizes; the normal form must then be a fixed point *)
+      let s1 = Pp.expr (P.expr (Pp.expr e)) in
+      let s2 = Pp.expr (P.expr s1) in
+      s1 = s2)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer floats" `Quick test_lexer_floats;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer keywords" `Quick test_lexer_keywords;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "expression precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "ternary and builtins" `Quick test_expr_ternary_builtin;
+    Alcotest.test_case "statement forms" `Quick test_stmt_forms;
+    Alcotest.test_case "canonical for loops" `Quick test_for_canonical;
+    Alcotest.test_case "shared declarations" `Quick test_shared_decl;
+    Alcotest.test_case "parameter forms" `Quick test_params;
+    Alcotest.test_case "errors carry line numbers" `Quick test_parse_errors_located;
+    Alcotest.test_case "multiple kernels" `Quick test_multiple_kernels;
+    Alcotest.test_case "kernel print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "negative literal printing" `Quick test_negative_literal_print;
+    Alcotest.test_case "arrays read/written" `Quick test_arrays_read_written;
+    Alcotest.test_case "renaming" `Quick test_rename;
+    Alcotest.test_case "argument binding" `Quick test_bind_args;
+    Alcotest.test_case "grid of launch" `Quick test_grid_of_launch;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Semantic checker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Ck = Kft_cuda.Check
+
+let test_check_clean_kernel () =
+  let k = P.kernel (Util.stencil_src ~name:"ok" ~src:"A" ~dst:"B" ~margin:1 ~threed:true) in
+  Alcotest.(check int) "no errors" 0 (List.length (Ck.kernel k))
+
+let test_check_undeclared () =
+  let k = P.kernel "__global__ void f(double *A, int nx, double c) { A[0] = c * ghost; }" in
+  Alcotest.(check bool) "undeclared flagged" true
+    (List.exists (fun (e : Ck.error) ->
+         e.what = "undeclared identifier ghost") (Ck.kernel k))
+
+let test_check_const_write () =
+  let k = P.kernel "__global__ void f(const double *A, int nx, double c) { A[0] = c; }" in
+  Alcotest.(check bool) "const write flagged" true
+    (List.exists (fun (e : Ck.error) -> e.what = "const array A is written") (Ck.kernel k))
+
+let test_check_rank_mismatch () =
+  let k =
+    P.kernel
+      "__global__ void f(double *A, int nx, double c) { __shared__ double s[4][8]; s[1] = c; A[0] = s[1][2]; }"
+  in
+  Alcotest.(check bool) "rank mismatch flagged" true
+    (List.exists
+       (fun (e : Ck.error) ->
+         e.what = "shared array s has rank 2 but is written with 1 subscripts")
+       (Ck.kernel k))
+
+let test_check_scalar_indexed () =
+  let k = P.kernel "__global__ void f(double *A, int nx, double c) { A[0] = c[1]; }" in
+  Alcotest.(check bool) "scalar indexed flagged" true
+    (List.exists (fun (e : Ck.error) -> e.what = "scalar c is indexed") (Ck.kernel k))
+
+let test_check_double_decl () =
+  let k = P.kernel "__global__ void f(double *A, int nx, double c) { double t = c; double t = c; A[0] = t; }" in
+  Alcotest.(check bool) "double declaration flagged" true
+    (List.exists (fun (e : Ck.error) -> e.what = "identifier t declared twice") (Ck.kernel k))
+
+let test_check_program_launch () =
+  let prog = Util.producer_consumer_program () in
+  Alcotest.(check int) "clean program" 0 (List.length (Ck.program prog));
+  (* break a launch: wrong arity *)
+  let bad_schedule =
+    List.map
+      (function
+        | Launch l when l.l_kernel = "consume" -> Launch { l with l_args = [ Arg_int 3 ] }
+        | op -> op)
+      prog.p_schedule
+  in
+  let bad = { prog with p_schedule = bad_schedule } in
+  Alcotest.(check bool) "arity flagged" true
+    (List.exists
+       (fun (e : Ck.error) -> e.what = "expects 7 arguments, got 1")
+       (Ck.program bad))
+
+let test_check_unknown_kernel_and_block () =
+  let prog = Util.producer_consumer_program () in
+  let bad =
+    {
+      prog with
+      p_schedule =
+        [ Launch { l_kernel = "nope"; l_domain = (8, 8, 1); l_block = (64, 32, 1); l_args = [] } ];
+    }
+  in
+  let errs = Ck.program bad in
+  Alcotest.(check bool) "unknown kernel" true
+    (List.exists (fun (e : Ck.error) -> e.what = "launch of undefined kernel") errs)
+
+let checker_suite =
+  [
+    Alcotest.test_case "check: clean kernel" `Quick test_check_clean_kernel;
+    Alcotest.test_case "check: undeclared identifier" `Quick test_check_undeclared;
+    Alcotest.test_case "check: const write" `Quick test_check_const_write;
+    Alcotest.test_case "check: shared rank mismatch" `Quick test_check_rank_mismatch;
+    Alcotest.test_case "check: scalar indexed" `Quick test_check_scalar_indexed;
+    Alcotest.test_case "check: duplicate declaration" `Quick test_check_double_decl;
+    Alcotest.test_case "check: launch arity" `Quick test_check_program_launch;
+    Alcotest.test_case "check: unknown kernel" `Quick test_check_unknown_kernel_and_block;
+  ]

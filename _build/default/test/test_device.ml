@@ -1,0 +1,130 @@
+(* Device models and the occupancy calculator. *)
+
+module D = Kft_device.Device
+module O = Kft_device.Occupancy
+
+let k20x = D.k20x
+
+let test_device_lookup () =
+  Alcotest.(check bool) "k20x by name" true (D.by_name "tesla k20x" = Some D.k20x);
+  Alcotest.(check bool) "k40 by name" true (D.by_name "Tesla K40" = Some D.k40);
+  Alcotest.(check bool) "unknown" true (D.by_name "H100" = None)
+
+let test_report_roundtrip () =
+  List.iter
+    (fun d ->
+      let d' = D.of_query_report (D.query_report d) in
+      Alcotest.(check bool) ("roundtrip " ^ d.D.name) true (d = d'))
+    D.all
+
+let test_report_amend () =
+  (* the programmer can edit the device metadata file *)
+  let text = D.query_report k20x in
+  let text =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if String.length line >= 22 && String.sub line 0 22 = "device.peak_bandwidth_" then
+             "device.peak_bandwidth_gbs = 199"
+           else line)
+         (String.split_on_char '\n' text))
+  in
+  let d = D.of_query_report text in
+  Util.check_float "amended bandwidth" 199.0 d.D.peak_bandwidth_gbs
+
+let occ ?(regs = 32) ?(shared = 0) threads =
+  O.calculate k20x { block_threads = threads; regs_per_thread = regs; shared_per_block = shared }
+
+let test_full_occupancy () =
+  (* 256 threads, low registers, no shared memory: warp-limited at 1.0 *)
+  let r = occ ~regs:16 256 in
+  Util.check_float "occupancy 1.0" 1.0 r.O.occupancy;
+  Alcotest.(check int) "8 blocks" 8 r.O.active_blocks_per_sm
+
+let test_block_limit () =
+  (* tiny blocks: capped at 16 blocks/SM -> 16 warps of 64 *)
+  let r = occ ~regs:16 32 in
+  Alcotest.(check int) "16 blocks" 16 r.O.active_blocks_per_sm;
+  Util.check_float "occupancy 0.25" 0.25 r.O.occupancy;
+  Alcotest.(check bool) "limited by blocks" true (r.O.limiter = `Blocks)
+
+let test_register_limit () =
+  (* 128 regs/thread, 256-thread blocks: 128*32=4096 regs per warp,
+     65536/4096 = 16 warps -> 2 blocks of 8 warps *)
+  let r = occ ~regs:128 256 in
+  Alcotest.(check int) "2 blocks" 2 r.O.active_blocks_per_sm;
+  Alcotest.(check bool) "limited by registers" true (r.O.limiter = `Registers)
+
+let test_shared_limit () =
+  (* 24 KB per block: 2 blocks fit in 48 KB *)
+  let r = occ ~regs:16 ~shared:24576 256 in
+  Alcotest.(check int) "2 blocks" 2 r.O.active_blocks_per_sm;
+  Alcotest.(check bool) "limited by shared" true (r.O.limiter = `Shared_memory)
+
+let test_infeasible () =
+  Alcotest.(check bool) "block too large" true ((occ 2048).O.limiter = `Infeasible);
+  Alcotest.(check bool) "shared too large" true ((occ ~shared:100000 256).O.limiter = `Infeasible);
+  Util.check_float "zero occupancy" 0.0 (occ 2048).O.occupancy;
+  (* 1024-thread blocks with >64 regs/thread never fit on Kepler *)
+  Alcotest.(check int) "reg-starved 1024 blocks" 0 (occ ~regs:80 1024).O.active_blocks_per_sm
+
+let test_shared_granularity () =
+  (* 100 bytes rounds up to 256: 48K/256 = 192, capped by other limits *)
+  let a = occ ~regs:16 ~shared:100 256 and b = occ ~regs:16 ~shared:256 256 in
+  Alcotest.(check int) "granularity rounding" a.O.active_blocks_per_sm b.O.active_blocks_per_sm
+
+let test_tune_improves () =
+  (* shared footprint grows with the block: the tuner balances *)
+  let shared (bx, by, _) = (bx + 2) * (by + 2) * 8 in
+  let dims, result =
+    O.tune k20x ~regs_per_thread:32 ~shared_per_block:shared ~current:(512, 2, 1)
+  in
+  let before =
+    O.calculate k20x
+      { block_threads = 1024; regs_per_thread = 32; shared_per_block = shared (512, 2, 1) }
+  in
+  Alcotest.(check bool) "tuned at least as good" true (result.O.occupancy >= before.O.occupancy);
+  let bx, by, bz = dims in
+  Alcotest.(check bool) "dims feasible" true (bx * by * bz <= k20x.D.max_threads_per_block)
+
+let test_tune_keeps_current_on_tie () =
+  let dims, _ = O.tune k20x ~regs_per_thread:16 ~shared_per_block:(fun _ -> 0) ~current:(256, 1, 1) in
+  (* (256,1,1) already achieves 1.0 occupancy: must be kept *)
+  Alcotest.(check bool) "current kept" true (dims = (256, 1, 1))
+
+let prop_occupancy_bounded =
+  QCheck.Test.make ~name:"occupancy in [0,1]" ~count:200
+    QCheck.(triple (int_range 1 1024) (int_range 0 255) (int_range 0 65536))
+    (fun (threads, regs, shared) ->
+      let r = occ ~regs ~shared threads in
+      r.O.occupancy >= 0.0 && r.O.occupancy <= 1.0)
+
+let prop_occupancy_antitone_regs =
+  QCheck.Test.make ~name:"occupancy non-increasing in registers" ~count:200
+    QCheck.(pair (int_range 1 512) (int_range 16 120))
+    (fun (threads, regs) ->
+      (occ ~regs threads).O.occupancy >= (occ ~regs:(regs + 32) threads).O.occupancy)
+
+let prop_occupancy_antitone_shared =
+  QCheck.Test.make ~name:"occupancy non-increasing in shared memory" ~count:200
+    QCheck.(pair (int_range 1 512) (int_range 0 24000))
+    (fun (threads, shared) ->
+      (occ ~shared threads).O.occupancy >= (occ ~shared:(shared + 8192) threads).O.occupancy)
+
+let suite =
+  [
+    Alcotest.test_case "device lookup" `Quick test_device_lookup;
+    Alcotest.test_case "query report roundtrip" `Quick test_report_roundtrip;
+    Alcotest.test_case "query report amendable" `Quick test_report_amend;
+    Alcotest.test_case "full occupancy" `Quick test_full_occupancy;
+    Alcotest.test_case "block-count limit" `Quick test_block_limit;
+    Alcotest.test_case "register limit" `Quick test_register_limit;
+    Alcotest.test_case "shared-memory limit" `Quick test_shared_limit;
+    Alcotest.test_case "infeasible configurations" `Quick test_infeasible;
+    Alcotest.test_case "shared granularity" `Quick test_shared_granularity;
+    Alcotest.test_case "tuning improves occupancy" `Quick test_tune_improves;
+    Alcotest.test_case "tuning keeps current on tie" `Quick test_tune_keeps_current_on_tie;
+    QCheck_alcotest.to_alcotest prop_occupancy_bounded;
+    QCheck_alcotest.to_alcotest prop_occupancy_antitone_regs;
+    QCheck_alcotest.to_alcotest prop_occupancy_antitone_shared;
+  ]

@@ -1,0 +1,199 @@
+(* Randomized end-to-end property: generate a random stencil program
+   (random chains, radii, sharing and coefficients), run the full
+   pipeline with a small GGA budget, and require bit-exact verification
+   of the transformed program. This hammers the fusion feasibility rules
+   and the code generator far beyond the hand-written cases. *)
+
+open Kft_cuda.Ast
+module F = Kft_framework.Framework
+
+let dims = (24, 12, 6)
+
+(* a random program over [n_arrays] fields: each kernel reads 1-2 random
+   arrays at a random radius (0..2, horizontal or 3D) and writes a
+   random array it does not read *)
+type spec = {
+  n_arrays : int;
+  kernels : (int list * int * bool * int) list;
+      (** (read array ids, written array id, threed, radius) *)
+}
+
+let spec_gen =
+  let open QCheck.Gen in
+  let* n_arrays = int_range 3 6 in
+  let* n_kernels = int_range 2 7 in
+  let* kernels =
+    list_repeat n_kernels
+      (let* w = int_range 0 (n_arrays - 1) in
+       let* r1 = int_range 0 (n_arrays - 1) in
+       let* r2 = int_range 0 (n_arrays - 1) in
+       let* two = bool in
+       let* threed = bool in
+       let* radius = int_range 0 2 in
+       let reads =
+         List.sort_uniq compare (List.filter (fun a -> a <> w) (if two then [ r1; r2 ] else [ r1 ]))
+       in
+       let reads = if reads = [] then [ (w + 1) mod n_arrays ] else reads in
+       return (reads, w, threed, radius))
+  in
+  return { n_arrays; kernels }
+
+let program_of_spec spec =
+  let nx, ny, nz = dims in
+  let arr i = Printf.sprintf "A%d" i in
+  let kernels_src =
+    List.mapi
+      (fun idx (reads, w, threed, radius) ->
+        let name = Printf.sprintf "k%02d" idx in
+        let k = Var "k" in
+        let body_reads =
+          List.concat_map
+            (fun a ->
+              let offs =
+                if radius = 0 then [ (0, 0, 0) ]
+                else
+                  [ (radius, 0, 0); (-radius, 0, 0); (0, radius, 0); (0, -radius, 0) ]
+                  @ (if threed then [ (0, 0, radius); (0, 0, -radius) ] else [])
+              in
+              List.map
+                (fun (dx, dy, dz) ->
+                  Index
+                    ( arr a,
+                      [
+                        Binop
+                          ( Add,
+                            Binop
+                              ( Mul,
+                                Binop
+                                  ( Add,
+                                    Binop (Mul, Binop (Add, k, Int_lit dz), Var "ny"),
+                                    Binop (Add, Var "j", Int_lit dy) ),
+                                Var "nx" ),
+                            Binop (Add, Var "i", Int_lit dx) );
+                      ] ))
+                offs)
+            reads
+        in
+        let sum = List.fold_left (fun acc e -> Binop (Add, acc, e)) (Double_lit 0.125) body_reads in
+        let m = max radius 1 in
+        let mz = if threed then radius else 0 in
+        let guard =
+          Binop
+            ( And,
+              Binop
+                ( And,
+                  Binop (Ge, Var "i", Int_lit m),
+                  Binop (Lt, Var "i", Binop (Sub, Var "nx", Int_lit m)) ),
+              Binop
+                ( And,
+                  Binop (Ge, Var "j", Int_lit m),
+                  Binop (Lt, Var "j", Binop (Sub, Var "ny", Int_lit m)) ) )
+        in
+        let params =
+          List.map
+            (fun a -> Array_param { name = arr a; elem_ty = Double; quals = [ Const ] })
+            reads
+          @ [ Array_param { name = arr w; elem_ty = Double; quals = [] };
+              Scalar_param { name = "nx"; ty = Int };
+              Scalar_param { name = "ny"; ty = Int };
+              Scalar_param { name = "nz"; ty = Int };
+              Scalar_param { name = "c"; ty = Double } ]
+        in
+        let body =
+          [
+            Decl (Int, "i", Some (Binop (Add, Binop (Mul, Builtin (Block_idx X), Builtin (Block_dim X)), Builtin (Thread_idx X))));
+            Decl (Int, "j", Some (Binop (Add, Binop (Mul, Builtin (Block_idx Y), Builtin (Block_dim Y)), Builtin (Thread_idx Y))));
+            If
+              ( guard,
+                [
+                  For
+                    {
+                      index = "k";
+                      lo = Int_lit mz;
+                      hi = Binop (Sub, Var "nz", Int_lit mz);
+                      step = 1;
+                      body =
+                        [
+                          Assign
+                            ( Lindex
+                                ( arr w,
+                                  [
+                                    Binop
+                                      ( Add,
+                                        Binop (Mul, Binop (Add, Binop (Mul, k, Var "ny"), Var "j"), Var "nx"),
+                                        Var "i" );
+                                  ] ),
+                              Binop (Mul, Var "c", sum) );
+                        ];
+                    };
+                ],
+                [] );
+          ]
+        in
+        let launch =
+          {
+            l_kernel = name;
+            l_domain = (nx, ny, 1);
+            l_block = (8, 4, 1);
+            l_args =
+              List.map (fun a -> Arg_array (arr a)) reads
+              @ [ Arg_array (arr w); Arg_int nx; Arg_int ny; Arg_int nz;
+                  Arg_double (0.1 +. (0.01 *. float_of_int idx)) ];
+          }
+        in
+        ({ k_name = name; k_params = params; k_body = body }, launch))
+      spec.kernels
+  in
+  {
+    p_name = "random";
+    p_arrays =
+      List.init spec.n_arrays (fun i ->
+          { a_name = arr i; a_elem_ty = Double; a_dims = [ nx; ny; nz ] });
+    p_kernels = List.map fst kernels_src;
+    p_schedule = List.map (fun (_, l) -> Launch l) kernels_src;
+  }
+
+let config =
+  {
+    F.default_config with
+    gga_params = { Kft_gga.Gga.default_params with generations = 25; population = 16 };
+  }
+
+let prop_random_pipeline_verifies =
+  QCheck.Test.make ~name:"random program: transform verifies bit-exactly" ~count:25
+    (QCheck.make ~print:(fun s -> Kft_cuda.Pp.program (program_of_spec s)) spec_gen)
+    (fun spec ->
+      let prog = program_of_spec spec in
+      (* the generator can produce invalid programs only via a bug in this
+         test; validate to keep failures meaningful *)
+      match Kft_cuda.Check.program prog with
+      | _ :: _ -> QCheck.assume_fail ()
+      | [] -> (
+          let r = F.transform ~config prog in
+          match r.verified with
+          | Ok () -> true
+          | Error diffs ->
+              QCheck.Test.fail_reportf "verification failed on %s for program:\n%s"
+                (String.concat "," (List.map fst diffs))
+                (Kft_cuda.Pp.program prog)))
+
+let prop_random_pipeline_manual_codegen =
+  QCheck.Test.make ~name:"random program: expert codegen verifies too" ~count:15
+    (QCheck.make ~print:(fun s -> Kft_cuda.Pp.program (program_of_spec s)) spec_gen)
+    (fun spec ->
+      let prog = program_of_spec spec in
+      match Kft_cuda.Check.program prog with
+      | _ :: _ -> QCheck.assume_fail ()
+      | [] -> (
+          let r =
+            F.transform
+              ~config:{ config with codegen_options = Kft_codegen.Fusion.manual_options }
+              prog
+          in
+          match r.verified with Ok () -> true | Error _ -> false))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_random_pipeline_verifies;
+    QCheck_alcotest.to_alcotest prop_random_pipeline_manual_codegen;
+  ]

@@ -1,0 +1,164 @@
+(* End-to-end pipeline and programmer-guided hooks. *)
+
+module F = Kft_framework.Framework
+
+let quick_gga = { Kft_gga.Gga.default_params with generations = 50; population = 24 }
+
+let config = { F.default_config with gga_params = quick_gga }
+
+let pc = Util.producer_consumer_program ()
+
+let test_end_to_end_verified () =
+  let r = F.transform ~config pc in
+  (match r.verified with
+  | Ok () -> ()
+  | Error d -> Alcotest.fail (Printf.sprintf "verification failed (%d arrays)" (List.length d)));
+  Alcotest.(check bool) "speedup reported" true (r.speedup > 0.0);
+  Alcotest.(check bool) "baseline time positive" true (r.baseline.total_time_us > 0.0)
+
+let test_pipeline_fuses_pair () =
+  let r = F.transform ~config pc in
+  Alcotest.(check bool) "pair fused" true
+    (List.exists (fun g -> List.length g = 2) r.solution_groups);
+  Alcotest.(check bool) "faster than baseline" true (r.speedup > 1.0)
+
+let test_targets_classified () =
+  let app = Kft_apps.Apps.mitgcm () in
+  let r = F.transform ~config:{ config with device = Kft_apps.Apps.bench_device } app.program in
+  let by_kind k =
+    List.length (List.filter (fun (t : F.target_info) -> t.classification = k) r.targets)
+  in
+  Alcotest.(check int) "14 memory-bound targets" 14
+    (List.length (List.filter (fun (t : F.target_info) -> t.eligible) r.targets));
+  Alcotest.(check bool) "boundary kernels excluded" true (by_kind Kft_analysis.Classify.Boundary >= 10);
+  Alcotest.(check bool) "compute kernels excluded" true
+    (by_kind Kft_analysis.Classify.Compute_bound >= 5)
+
+let test_manual_filter_sees_latency () =
+  let app = Kft_apps.Apps.fluam ~chains:2 () in
+  let auto = F.transform ~config:{ config with device = Kft_apps.Apps.bench_device } app.program in
+  let manual =
+    F.transform
+      ~config:{ config with device = Kft_apps.Apps.bench_device; filter_mode = F.Manual }
+      app.program
+  in
+  let eligible (r : F.report) =
+    List.length (List.filter (fun (t : F.target_info) -> t.eligible) r.targets)
+  in
+  Alcotest.(check bool) "manual filter drops latency kernels" true
+    (eligible manual < eligible auto)
+
+let test_no_filtering_mode () =
+  let app = Kft_apps.Apps.mitgcm () in
+  let r =
+    F.transform
+      ~config:{ config with device = Kft_apps.Apps.bench_device; filter_mode = F.No_filtering }
+      app.program
+  in
+  (* only repeated invocations and irregular kernels remain excluded *)
+  Alcotest.(check bool) "nearly all kernels targeted" true
+    (List.length (List.filter (fun (t : F.target_info) -> t.eligible) r.targets) >= 35)
+
+let test_hook_amend_targets () =
+  let hooks =
+    { F.no_hooks with amend_targets = (fun ts -> List.map (fun (k, _) -> (k, false)) ts) }
+  in
+  let r = F.transform ~config ~hooks pc in
+  Alcotest.(check bool) "nothing fused" true
+    (List.for_all (fun g -> List.length g <= 1) r.solution_groups);
+  Util.check_float ~eps:0.02 "speedup ~1" 1.0 r.speedup
+
+let test_hook_amend_solution () =
+  (* force singletons after the search *)
+  let hooks =
+    { F.no_hooks with
+      amend_solution = (fun gs -> List.concat_map (fun g -> List.map (fun u -> [ u ]) g) gs) }
+  in
+  let r = F.transform ~config ~hooks pc in
+  Alcotest.(check bool) "verified" true (r.verified = Ok ());
+  Alcotest.(check bool) "all singleton" true (List.for_all (fun g -> List.length g = 1) r.solution_groups)
+
+let test_hook_amend_metadata () =
+  let hooks =
+    { F.no_hooks with
+      amend_metadata =
+        (fun m ->
+          {
+            m with
+            performance =
+              List.map
+                (fun (p : Kft_metadata.Metadata.perf_entry) -> { p with runtime_us = 99.0 })
+                m.performance;
+          }) }
+  in
+  let r = F.transform ~config ~hooks pc in
+  List.iter
+    (fun (p : Kft_metadata.Metadata.perf_entry) -> Util.check_float "amended" 99.0 p.runtime_us)
+    r.metadata.performance
+
+let test_stage_report_text () =
+  let r = F.transform ~config pc in
+  let text = F.stage_report r in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length text and m = String.length needle in
+        let rec go i = i + m <= n && (String.sub text i m = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("report mentions " ^ needle) true found)
+    [ "stage 1"; "stage 2"; "stage 3"; "stage 4"; "stage 5"; "speedup" ]
+
+let test_fission_flows_through () =
+  let app = Kft_apps.Apps.awp_odc () in
+  let r =
+    F.transform
+      ~config:
+        { config with
+          device = Kft_apps.Apps.bench_device;
+          gga_params = { quick_gga with generations = 120; population = 40 } }
+      app.program
+  in
+  Alcotest.(check bool) "verified" true (r.verified = Ok ());
+  Alcotest.(check bool) "fission plans computed" true (List.length r.fission_plans >= 2);
+  Alcotest.(check bool) "kernels fissioned in best solution" true (List.length r.fissioned >= 1);
+  (* fission parts appear in the transformed program *)
+  let part_names =
+    List.filter
+      (fun k ->
+        let n = k.Kft_cuda.Ast.k_name in
+        List.exists (fun f ->
+            String.length n > String.length f && String.sub n 0 (String.length f) = f)
+          r.fissioned)
+      r.transformed.p_kernels
+  in
+  Alcotest.(check bool) "parts or their fusions emitted" true
+    (List.length part_names > 0 || List.exists (fun g -> List.length g > 1) r.solution_groups)
+
+let suite =
+  [
+    Alcotest.test_case "end-to-end verified" `Quick test_end_to_end_verified;
+    Alcotest.test_case "pipeline fuses the pair" `Quick test_pipeline_fuses_pair;
+    Alcotest.test_case "target classification" `Quick test_targets_classified;
+    Alcotest.test_case "manual filter sees latency kernels" `Quick test_manual_filter_sees_latency;
+    Alcotest.test_case "no-filtering mode" `Quick test_no_filtering_mode;
+    Alcotest.test_case "hook: amend targets" `Quick test_hook_amend_targets;
+    Alcotest.test_case "hook: amend solution" `Quick test_hook_amend_solution;
+    Alcotest.test_case "hook: amend metadata" `Quick test_hook_amend_metadata;
+    Alcotest.test_case "stage report text" `Quick test_stage_report_text;
+    Alcotest.test_case "fission flows through pipeline" `Quick test_fission_flows_through;
+  ]
+
+let test_validation_gate () =
+  let bad =
+    { pc with
+      p_schedule =
+        [ Kft_cuda.Ast.Launch
+            { l_kernel = "nope"; l_domain = (4, 4, 1); l_block = (4, 4, 1); l_args = [] } ] }
+  in
+  match F.transform ~config bad with
+  | (_ : F.report) -> Alcotest.fail "expected validation failure"
+  | exception Invalid_argument _ -> ()
+
+let validation_suite =
+  [ Alcotest.test_case "frontend validation gate" `Quick test_validation_gate ]

@@ -1,0 +1,173 @@
+(* Grouped genetic algorithm: parameters, operators, lazy fission. *)
+
+module Gga = Kft_gga.Gga
+module PM = Kft_perfmodel.Perfmodel
+
+let test_params_roundtrip () =
+  let p = { Gga.default_params with generations = 77; crossover_rate = 0.65; seed = 3 } in
+  let p' = Gga.params_of_text (Gga.params_to_text p) in
+  Alcotest.(check bool) "roundtrip" true (p = p')
+
+let test_params_partial_file () =
+  let p = Gga.params_of_text "generations = 9\n# a comment\npopulation = 5\n" in
+  Alcotest.(check int) "generations" 9 p.generations;
+  Alcotest.(check int) "population" 5 p.population;
+  Alcotest.(check int) "default seed kept" Gga.default_params.seed p.seed
+
+let test_params_malformed () =
+  match Gga.params_of_text "what is this" with
+  | (_ : Gga.params) -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+(* a synthetic problem: units u0..u(n-1); consecutive pairs share an
+   array, so the ideal grouping is pairs {u0,u1} {u2,u3} ... *)
+let unit_model name arrays =
+  {
+    PM.unit_name = name;
+    flops = 10_000.0;
+    bytes = 80_000.0;
+    runtime_us = 5.0;
+    arrays =
+      List.map
+        (fun a -> { PM.host = a; reads = 4; writes = 1; radius = (1, 1, 0); traffic_share = 1.0 /. float_of_int (List.length arrays) })
+        arrays;
+    block = (16, 8, 1);
+    domain = (32, 16, 1);
+    nest_depth = 1;
+    fusable = true;
+  }
+
+let pair_problem n =
+  let units =
+    List.init n (fun i ->
+        unit_model (Printf.sprintf "u%d" i) [ Printf.sprintf "S%d" (i / 2); Printf.sprintf "O%d" i ])
+  in
+  {
+    Gga.units;
+    fission_parts = [];
+    part_arrays = [];
+    feasible = (fun _ -> true);
+    solution_feasible = (fun ~groups:_ ~fissioned:_ -> true);
+    objective = PM.objective Util.device;
+    shared_ok = (fun _ -> true);
+  }
+
+let small = { Gga.default_params with generations = 60; population = 24 }
+
+let test_deterministic () =
+  let p = pair_problem 6 in
+  let r1 = Gga.run small p and r2 = Gga.run small p in
+  Alcotest.(check bool) "same best" true (r1.best.groups = r2.best.groups);
+  Util.check_float "same fitness" r1.best.fitness r2.best.fitness;
+  let r3 = Gga.run { small with seed = small.seed + 1 } p in
+  ignore r3 (* different seed may differ; just must not crash *)
+
+let test_partition_invariant () =
+  let p = pair_problem 8 in
+  let r = Gga.run small p in
+  let all = List.concat r.best.groups |> List.sort compare in
+  let expected = List.init 8 (fun i -> Printf.sprintf "u%d" i) |> List.sort compare in
+  Alcotest.(check (list string)) "groups partition the units" expected all
+
+let test_finds_sharing_pairs () =
+  let p = pair_problem 6 in
+  let r = Gga.run { small with generations = 120 } p in
+  (* the sharing pairs must be grouped together *)
+  let together a b =
+    List.exists (fun g -> List.mem a g && List.mem b g) r.best.groups
+  in
+  Alcotest.(check bool) "u0+u1" true (together "u0" "u1");
+  Alcotest.(check bool) "u2+u3" true (together "u2" "u3");
+  Alcotest.(check bool) "u4+u5" true (together "u4" "u5")
+
+let test_improves_over_singletons () =
+  let p = pair_problem 6 in
+  let r = Gga.run small p in
+  let singletons = p.objective (List.map (fun (u : PM.unit_model) -> [ u ]) p.units) in
+  Alcotest.(check bool) "beats singletons" true (r.best.raw_objective > singletons)
+
+let test_respects_feasibility () =
+  let p = pair_problem 4 in
+  let p = { p with feasible = (fun g -> List.length g <= 1) } in
+  let r = Gga.run small p in
+  Alcotest.(check int) "no violations" 0 r.best.violations;
+  Alcotest.(check bool) "all singletons" true (List.for_all (fun g -> List.length g = 1) r.best.groups)
+
+let test_joint_feasibility_penalized () =
+  let p = pair_problem 4 in
+  (* forbid any solution with more than one multi-group *)
+  let p =
+    { p with
+      solution_feasible =
+        (fun ~groups ~fissioned:_ ->
+          List.length (List.filter (fun g -> List.length g > 1) groups) <= 1) }
+  in
+  let r = Gga.run { small with generations = 120 } p in
+  Alcotest.(check int) "no violations in best" 0 r.best.violations;
+  Alcotest.(check bool) "at most one fused group" true
+    (List.length (List.filter (fun g -> List.length g > 1) r.best.groups) <= 1)
+
+let test_lazy_fission_triggers () =
+  (* one big unit whose staging violates capacity; its parts fit and pair
+     with a small consumer *)
+  let big = unit_model "big" [ "X"; "Y"; "Z"; "W" ] in
+  let partner = unit_model "p" [ "X" ] in
+  let parts = [ unit_model "big__f1" [ "X" ]; unit_model "big__f2" [ "Y"; "Z"; "W" ] ] in
+  let problem =
+    {
+      Gga.units = [ big; partner ];
+      fission_parts = [ ("big", parts) ];
+      part_arrays = [ ("big__f1", [ "X" ]); ("big__f2", [ "Y"; "Z"; "W" ]) ];
+      feasible = (fun _ -> true);
+      solution_feasible = (fun ~groups:_ ~fissioned:_ -> true);
+      objective = PM.objective Util.device;
+      shared_ok =
+        (fun models ->
+          (* any group containing "big" whole violates capacity *)
+          not (List.exists (fun (m : PM.unit_model) -> m.unit_name = "big") models
+               && List.length models > 1));
+    }
+  in
+  let r = Gga.run { small with generations = 120 } problem in
+  Alcotest.(check bool) "fission happened during search" true (r.fission_events > 0);
+  Alcotest.(check bool) "avg fissions positive" true (r.avg_fissions_per_generation > 0.0)
+
+let test_fission_disabled () =
+  let big = unit_model "big" [ "X"; "Y" ] in
+  let problem =
+    {
+      (pair_problem 2) with
+      Gga.units = [ big ];
+      fission_parts = [ ("big", [ unit_model "big__f1" [ "X" ] ]) ];
+      shared_ok = (fun _ -> false);
+    }
+  in
+  let r = Gga.run { small with fission_enabled = false } problem in
+  Alcotest.(check int) "no fission events" 0 r.fission_events
+
+let test_history_monotone () =
+  let p = pair_problem 8 in
+  let r = Gga.run small p in
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "best fitness non-decreasing" true (mono r.history);
+  Alcotest.(check bool) "converged_at within budget" true
+    (r.converged_at >= 0 && r.converged_at <= small.generations)
+
+let suite =
+  [
+    Alcotest.test_case "parameter file roundtrip" `Quick test_params_roundtrip;
+    Alcotest.test_case "partial parameter file" `Quick test_params_partial_file;
+    Alcotest.test_case "malformed parameter file" `Quick test_params_malformed;
+    Alcotest.test_case "deterministic for a seed" `Quick test_deterministic;
+    Alcotest.test_case "groups partition units" `Quick test_partition_invariant;
+    Alcotest.test_case "finds sharing pairs" `Quick test_finds_sharing_pairs;
+    Alcotest.test_case "improves over singletons" `Quick test_improves_over_singletons;
+    Alcotest.test_case "respects per-group feasibility" `Quick test_respects_feasibility;
+    Alcotest.test_case "respects joint feasibility" `Quick test_joint_feasibility_penalized;
+    Alcotest.test_case "lazy fission triggers" `Quick test_lazy_fission_triggers;
+    Alcotest.test_case "fission can be disabled" `Quick test_fission_disabled;
+    Alcotest.test_case "history monotone" `Quick test_history_monotone;
+  ]

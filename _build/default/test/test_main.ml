@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "kft"
+    [
+      ("graph", Test_graph.suite);
+      ("device", Test_device.suite);
+      ("cuda", Test_cuda.suite @ Test_cuda.checker_suite);
+      ("analysis", Test_analysis.suite);
+      ("sim", Test_sim.suite @ Test_sim.usage_suite @ Test_sim.semantics_suite);
+      ("metadata", Test_metadata.suite);
+      ("ddg", Test_ddg.suite);
+      ("fission", Test_fission.suite);
+      ("perfmodel", Test_perfmodel.suite @ Test_perfmodel.alt_suite);
+      ("gga", Test_gga.suite);
+      ("codegen", Test_codegen.suite @ Test_codegen.extra_suite);
+      ("framework", Test_framework.suite @ Test_framework.validation_suite);
+      ("apps", Test_apps.suite);
+      ("end-to-end", Test_endtoend.suite);
+    ]

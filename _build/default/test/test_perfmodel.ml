@@ -1,0 +1,108 @@
+(* The codeless performance projection (GGA objective). *)
+
+module PM = Kft_perfmodel.Perfmodel
+module M = Kft_metadata.Metadata
+
+let prog = Util.producer_consumer_program ()
+
+let meta = lazy (fst (M.gather Util.device prog))
+
+let models () =
+  let m = Lazy.force meta in
+  (PM.of_metadata m "produce", PM.of_metadata m "consume")
+
+let test_of_metadata () =
+  let p, c = models () in
+  Alcotest.(check string) "name" "produce" p.unit_name;
+  Alcotest.(check bool) "bytes positive" true (p.bytes > 0.0);
+  Alcotest.(check bool) "fusable" true (p.fusable && c.fusable);
+  let share = List.fold_left (fun acc (a : PM.array_info) -> acc +. a.traffic_share) 0.0 p.arrays in
+  Util.check_float ~eps:1e-9 "traffic shares sum to 1" 1.0 share
+
+let test_halo_fraction () =
+  Util.check_float "no halo" 0.0 (PM.halo_fraction ~block:(16, 8, 1) ~radius:(0, 0, 0));
+  (* (18*10 - 128)/128 = 0.40625 *)
+  Util.check_float "radius 1" 0.40625 (PM.halo_fraction ~block:(16, 8, 1) ~radius:(1, 1, 0))
+
+let test_group_savings () =
+  let p, c = models () in
+  let single_p = PM.eval_group Util.device [ p ] in
+  let single_c = PM.eval_group Util.device [ c ] in
+  let fused = PM.eval_group Util.device [ p; c ] in
+  Alcotest.(check bool) "raw adds up" true
+    (Float.abs (fused.raw_bytes -. (single_p.raw_bytes +. single_c.raw_bytes)) < 1.0);
+  Alcotest.(check bool) "reuse saves traffic" true (fused.traffic_bytes < fused.raw_bytes);
+  Alcotest.(check int) "one launch saved" 1 fused.saved_launches;
+  Alcotest.(check bool) "projected faster than sum" true
+    (fused.projected_time_us < single_p.projected_time_us +. single_c.projected_time_us)
+
+let test_singleton_no_savings () =
+  let p, _ = models () in
+  let e = PM.eval_group Util.device [ p ] in
+  Util.check_float "no savings alone" e.raw_bytes e.traffic_bytes;
+  Alcotest.(check int) "no staging" 0 e.shared_bytes_needed
+
+let test_objective_prefers_fusion () =
+  let p, c = models () in
+  let fused = PM.objective Util.device [ [ p; c ] ] in
+  let split = PM.objective Util.device [ [ p ]; [ c ] ] in
+  Alcotest.(check bool) "fusion wins for sharing pair" true (fused > split)
+
+let test_shared_bytes_scale_with_block () =
+  let p, c = models () in
+  let small = PM.shared_bytes_for_group ~block:(16, 8, 1) [ p; c ] in
+  let large = PM.shared_bytes_for_group ~block:(64, 16, 1) [ p; c ] in
+  Alcotest.(check bool) "staging grows with block" true (large > small);
+  Alcotest.(check bool) "staging positive" true (small > 0)
+
+let test_occupancy_discourages_mega_groups () =
+  (* duplicate one model many times with distinct array names so the
+     staging footprint explodes *)
+  let p, _ = models () in
+  let clones =
+    List.init 48 (fun i ->
+        {
+          p with
+          unit_name = Printf.sprintf "clone%d" i;
+          arrays =
+            List.map
+              (fun (a : PM.array_info) ->
+                { a with host = Printf.sprintf "%s_%d" a.host (i / 2); radius = (2, 2, 0) })
+              p.arrays;
+        })
+  in
+  let mega = PM.eval_group Util.device clones in
+  Alcotest.(check bool) "staging over capacity flagged" true (not mega.shared_ok);
+  (* time per member must be worse than a small group's *)
+  let pair = PM.eval_group Util.device [ List.nth clones 0; List.nth clones 1 ] in
+  Alcotest.(check bool) "mega group per-member time worse" true
+    (mega.projected_time_us /. 48.0 > (pair.projected_time_us /. 2.0) *. 0.5)
+
+let test_nested_loop_discount () =
+  let p, c = models () in
+  let deep = { c with nest_depth = 2 } in
+  let normal = PM.eval_group Util.device [ p; c ] in
+  let discounted = PM.eval_group Util.device [ p; deep ] in
+  Alcotest.(check bool) "deep nests realize less reuse" true
+    (discounted.traffic_bytes > normal.traffic_bytes)
+
+let suite =
+  [
+    Alcotest.test_case "model from metadata" `Quick test_of_metadata;
+    Alcotest.test_case "halo fraction" `Quick test_halo_fraction;
+    Alcotest.test_case "group savings" `Quick test_group_savings;
+    Alcotest.test_case "singleton baseline" `Quick test_singleton_no_savings;
+    Alcotest.test_case "objective prefers fusion" `Quick test_objective_prefers_fusion;
+    Alcotest.test_case "staging scales with block" `Quick test_shared_bytes_scale_with_block;
+    Alcotest.test_case "mega groups discouraged" `Quick test_occupancy_discourages_mega_groups;
+    Alcotest.test_case "nested-loop discount" `Quick test_nested_loop_discount;
+  ]
+
+let test_alternative_objective () =
+  let p, c = models () in
+  let fused = PM.objective_traffic Util.device [ [ p; c ] ] in
+  let split = PM.objective_traffic Util.device [ [ p ]; [ c ] ] in
+  Alcotest.(check bool) "traffic objective also prefers fusion" true (fused > split)
+
+let alt_suite =
+  [ Alcotest.test_case "alternative (traffic) objective" `Quick test_alternative_objective ]

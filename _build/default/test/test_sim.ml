@@ -1,0 +1,415 @@
+(* GPU simulator: memory, interpreter semantics, statistics, timing. *)
+
+open Kft_cuda.Ast
+module Mem = Kft_sim.Memory
+module I = Kft_sim.Interp
+module T = Kft_sim.Timing
+
+let dims = (16, 8, 4)
+let cells = 16 * 8 * 4
+
+let one_kernel_prog src name args_arrays coef =
+  let k = Kft_cuda.Parse.kernel src in
+  {
+    p_name = "t";
+    p_arrays = List.map (Util.arr3 dims) [ "A"; "B"; "C" ];
+    p_kernels = [ k ];
+    p_schedule =
+      [
+        Launch
+          { l_kernel = name; l_domain = (16, 8, 1); l_block = (8, 4, 1);
+            l_args = Util.std_args dims args_arrays coef };
+      ];
+  }
+
+let test_memory_basics () =
+  let mem = Mem.create [ Util.arr3 dims "A"; Util.arr3 dims "B" ] in
+  Alcotest.(check (list string)) "names" [ "A"; "B" ] (Mem.names mem);
+  Alcotest.(check int) "length" cells (Array.length (Mem.get mem "A"));
+  Alcotest.(check bool) "dims" true (Mem.dims mem "A" = [ 16; 8; 4 ]);
+  Util.check_float "zero init" 0.0 (Mem.get mem "A").(0)
+
+let test_memory_seeded_deterministic () =
+  let mem1 = Mem.create [ Util.arr3 dims "A" ] and mem2 = Mem.create [ Util.arr3 dims "A" ] in
+  Mem.init_seeded mem1 ~seed:7;
+  Mem.init_seeded mem2 ~seed:7;
+  Alcotest.(check bool) "same fill" true (Mem.equal_within ~tol:0.0 mem1 mem2);
+  Mem.init_seeded mem2 ~seed:8;
+  Alcotest.(check bool) "different seed differs" false (Mem.equal_within ~tol:0.0 mem1 mem2);
+  Alcotest.(check bool) "no zeros" true (Array.for_all (fun v -> v <> 0.0) (Mem.get mem1 "A"))
+
+let test_memory_diff () =
+  let mem1 = Mem.create [ Util.arr3 dims "A" ] and mem2 = Mem.create [ Util.arr3 dims "A" ] in
+  (Mem.get mem2 "A").(5) <- 3.5;
+  (match Mem.max_abs_diff mem1 mem2 with
+  | [ ("A", d) ] -> Util.check_float "max diff" 3.5 d
+  | _ -> Alcotest.fail "diff shape");
+  Alcotest.(check bool) "not equal" false (Mem.equal_within ~tol:1.0 mem1 mem2);
+  Alcotest.(check bool) "equal within 4" true (Mem.equal_within ~tol:4.0 mem1 mem2)
+
+let test_pointwise_execution () =
+  let prog = one_kernel_prog (Util.pointwise_src ~name:"pw" ~a:"A" ~b:"B" ~dst:"C") "pw"
+      [ "A"; "B"; "C" ] 0.5 in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:1;
+  let a = Array.copy (Mem.get mem "A") and b = Array.copy (Mem.get mem "B") in
+  let stats = I.launch mem prog (Util.launch_of prog "pw") in
+  let c = Mem.get mem "C" in
+  Array.iteri (fun i av -> Util.check_float "c = 0.5(a+b)" (0.5 *. (av +. b.(i))) c.(i)) a;
+  Alcotest.(check int) "write bytes" (cells * 8) stats.global_write_bytes;
+  Alcotest.(check int) "read bytes" (cells * 2 * 8) stats.global_read_bytes;
+  Util.check_float "flops (2 per cell)" (float_of_int (2 * cells)) stats.flops
+
+let test_stencil_execution () =
+  (* 5-point horizontal stencil checked against a reference loop *)
+  let prog =
+    one_kernel_prog
+      (Util.stencil_src ~name:"st" ~src:"A" ~dst:"B" ~margin:1 ~threed:false)
+      "st" [ "A"; "B" ] 0.25
+  in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:2;
+  let a = Array.copy (Mem.get mem "A") in
+  let b0 = Array.copy (Mem.get mem "B") in
+  ignore (I.launch mem prog (Util.launch_of prog "st"));
+  let b = Mem.get mem "B" in
+  let nx, ny, _ = dims in
+  let idx i j k = ((k * ny) + j) * nx + i in
+  for k = 0 to 3 do
+    for j = 1 to ny - 2 do
+      for i = 1 to nx - 2 do
+        let expect =
+          0.25 *. (a.(idx (i + 1) j k) +. a.(idx (i - 1) j k) +. a.(idx i (j + 1) k) +. a.(idx i (j - 1) k))
+        in
+        Util.check_float "stencil cell" expect b.(idx i j k)
+      done
+    done
+  done;
+  (* guarded boundary cells keep their previous contents *)
+  Util.check_float "boundary untouched" b0.(idx 0 0 0) b.(idx 0 0 0)
+
+let test_guard_divergence_counted () =
+  let prog =
+    one_kernel_prog
+      (Util.stencil_src ~name:"st" ~src:"A" ~dst:"B" ~margin:1 ~threed:false)
+      "st" [ "A"; "B" ] 0.25
+  in
+  let mem = Mem.create prog.p_arrays in
+  let stats = I.launch mem prog (Util.launch_of prog "st") in
+  Alcotest.(check bool) "cond evals counted" true (stats.warp_cond_evals > 0);
+  Alcotest.(check bool) "divergence observed" true (stats.divergent_warp_cond_evals > 0)
+
+let test_out_of_bounds () =
+  let src =
+    {|
+__global__ void oob(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      B[(k * ny + j) * nx + i] = A[(k * ny + j) * nx + i + 1];
+    }
+  }
+}
+|}
+  in
+  let prog = one_kernel_prog src "oob" [ "A"; "B" ] 1.0 in
+  let mem = Mem.create prog.p_arrays in
+  match I.launch mem prog (Util.launch_of prog "oob") with
+  | (_ : I.stats) -> Alcotest.fail "expected out-of-bounds error"
+  | exception I.Sim_error { kernel = "oob"; _ } -> ()
+
+let test_syncthreads_staging () =
+  (* shared-memory staging with a barrier: same result as direct reads *)
+  let src =
+    {|
+__global__ void stage(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int i = blockIdx.x * blockDim.x + tx;
+  int j = blockIdx.y * blockDim.y + ty;
+  __shared__ double s[4][8];
+  for (int k = 0; k < nz; k++) {
+    if (i < nx && j < ny) {
+      s[ty][tx] = A[(k * ny + j) * nx + i];
+    }
+    __syncthreads();
+    if (i < nx && j < ny) {
+      B[(k * ny + j) * nx + i] = c * s[ty][tx];
+    }
+    __syncthreads();
+  }
+}
+|}
+  in
+  let prog = one_kernel_prog src "stage" [ "A"; "B" ] 2.0 in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:3;
+  let a = Array.copy (Mem.get mem "A") in
+  let stats = I.launch mem prog (Util.launch_of prog "stage") in
+  Array.iteri (fun i av -> Util.check_float "staged copy" (2.0 *. av) (Mem.get mem "B").(i)) a;
+  Alcotest.(check int) "shared bytes" (4 * 8 * 8) stats.shared_bytes_per_block;
+  Alcotest.(check int) "no hazards with barrier" 0 stats.shared_hazards
+
+let test_hazard_detection () =
+  (* neighbour read of shared without a barrier: hazard flagged *)
+  let src =
+    {|
+__global__ void racy(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int i = blockIdx.x * blockDim.x + tx;
+  int j = blockIdx.y * blockDim.y + ty;
+  __shared__ double s[4][8];
+  for (int k = 0; k < nz; k++) {
+    if (i < nx && j < ny) {
+      s[ty][tx] = A[(k * ny + j) * nx + i];
+    }
+    if (i < nx && j < ny && tx > 0) {
+      B[(k * ny + j) * nx + i] = c * s[ty][tx - 1];
+    }
+    __syncthreads();
+  }
+}
+|}
+  in
+  let prog = one_kernel_prog src "racy" [ "A"; "B" ] 1.0 in
+  let mem = Mem.create prog.p_arrays in
+  let stats = I.launch mem prog (Util.launch_of prog "racy") in
+  Alcotest.(check bool) "hazards detected" true (stats.shared_hazards > 0)
+
+let test_barrier_divergence_rejected () =
+  let src =
+    {|
+__global__ void baddiv(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < 3) {
+    __syncthreads();
+  }
+  B[0] = c * A[0];
+}
+|}
+  in
+  let prog = one_kernel_prog src "baddiv" [ "A"; "B" ] 1.0 in
+  let mem = Mem.create prog.p_arrays in
+  match I.launch mem prog (Util.launch_of prog "baddiv") with
+  | (_ : I.stats) -> Alcotest.fail "expected barrier divergence error"
+  | exception I.Sim_error _ -> ()
+
+let test_return_guard () =
+  let src =
+    {|
+__global__ void early(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= nx) {
+    return;
+  }
+  B[j * nx + i] = c * A[j * nx + i];
+}
+|}
+  in
+  let prog = one_kernel_prog src "early" [ "A"; "B" ] 3.0 in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:4;
+  let a = Array.copy (Mem.get mem "A") in
+  ignore (I.launch mem prog (Util.launch_of prog "early"));
+  Util.check_float "plane written" (3.0 *. a.(0)) (Mem.get mem "B").(0)
+
+let test_schedule_runs_in_order () =
+  let prog = Util.producer_consumer_program ~dims:(16, 8, 4) ~block:(8, 4, 1) () in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:5;
+  let results = I.run_schedule mem prog in
+  Alcotest.(check int) "two launches" 2 (List.length results);
+  (* consume must see produce's B values: C = 0.5 * (B_new + A) *)
+  let b = Mem.get mem "B" and a = Mem.get mem "A" and c = Mem.get mem "C" in
+  Array.iteri (fun i bv -> Util.check_float "RAW respected" (0.5 *. (bv +. a.(i))) c.(i)) b
+
+let mk_stats ?(read = 0) ?(write = 0) ?(flops = 0.0) ?(div = 0) ?(evals = 0) ?(blocks = 8)
+    ?(threads = 256) () =
+  {
+    I.global_read_bytes = read;
+    global_write_bytes = write;
+    flops;
+    warp_cond_evals = evals;
+    divergent_warp_cond_evals = div;
+    shared_hazards = 0;
+    threads_launched = threads;
+    threads_active = threads;
+    shared_bytes_per_block = 0;
+    blocks_launched = blocks;
+  }
+
+let evaluate stats =
+  T.evaluate
+    { device = Util.device; stats; block = (16, 8, 1); regs_per_thread = 32; dependent_chain = 5 }
+
+let test_timing_memory_bound () =
+  let b = evaluate (mk_stats ~read:1_000_000 ~write:1_000_000 ~flops:1000.0 ()) in
+  Alcotest.(check bool) "memory dominates" true (b.memory_time_us > b.compute_time_us);
+  Alcotest.(check bool) "runtime includes overhead" true
+    (b.runtime_us >= Util.device.kernel_launch_overhead_us)
+
+let test_timing_more_bytes_slower () =
+  let t1 = (evaluate (mk_stats ~read:1_000_000 ())).runtime_us in
+  let t2 = (evaluate (mk_stats ~read:4_000_000 ())).runtime_us in
+  Alcotest.(check bool) "monotone in traffic" true (t2 > t1)
+
+let test_timing_divergence_penalty () =
+  let t1 = (evaluate (mk_stats ~read:1_000_000 ~evals:100 ~div:0 ())).runtime_us in
+  let t2 = (evaluate (mk_stats ~read:1_000_000 ~evals:100 ~div:100 ())).runtime_us in
+  Alcotest.(check bool) "divergence costs" true (t2 > t1)
+
+let test_timing_latency_term () =
+  (* few warps + long chain: latency dominates *)
+  let stats = mk_stats ~read:8_192 ~blocks:4 ~threads:128 () in
+  let b =
+    T.evaluate
+      { device = Util.device; stats; block = (32, 1, 1); regs_per_thread = 32; dependent_chain = 400 }
+  in
+  Alcotest.(check bool) "latency dominates" true
+    (b.latency_time_us > b.memory_time_us && b.latency_time_us > b.compute_time_us)
+
+let suite =
+  [
+    Alcotest.test_case "memory basics" `Quick test_memory_basics;
+    Alcotest.test_case "seeded memory deterministic" `Quick test_memory_seeded_deterministic;
+    Alcotest.test_case "memory diff" `Quick test_memory_diff;
+    Alcotest.test_case "pointwise execution" `Quick test_pointwise_execution;
+    Alcotest.test_case "stencil execution vs reference" `Quick test_stencil_execution;
+    Alcotest.test_case "divergence counted" `Quick test_guard_divergence_counted;
+    Alcotest.test_case "out-of-bounds detected" `Quick test_out_of_bounds;
+    Alcotest.test_case "shared staging with barrier" `Quick test_syncthreads_staging;
+    Alcotest.test_case "hazard detection" `Quick test_hazard_detection;
+    Alcotest.test_case "barrier divergence rejected" `Quick test_barrier_divergence_rejected;
+    Alcotest.test_case "return guard" `Quick test_return_guard;
+    Alcotest.test_case "schedule order" `Quick test_schedule_runs_in_order;
+    Alcotest.test_case "timing: memory bound" `Quick test_timing_memory_bound;
+    Alcotest.test_case "timing: monotone in bytes" `Quick test_timing_more_bytes_slower;
+    Alcotest.test_case "timing: divergence penalty" `Quick test_timing_divergence_penalty;
+    Alcotest.test_case "timing: latency term" `Quick test_timing_latency_term;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic usage observation (the pointer-aliasing pre-run, Section 7) *)
+(* ------------------------------------------------------------------ *)
+
+let test_usage_observed () =
+  let prog = Util.producer_consumer_program ~dims:(16, 8, 4) ~block:(8, 4, 1) () in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:9;
+  let _, (reads, writes) = I.launch_with_usage mem prog (Util.launch_of prog "produce") in
+  Alcotest.(check (list string)) "reads observed" [ "A" ] reads;
+  Alcotest.(check (list string)) "writes observed" [ "B" ] writes
+
+let test_usage_guarded_out () =
+  (* an array bound to a parameter but never executed (guard always
+     false) must NOT appear in the dynamic usage: the ground truth the
+     paper's pre-run provides over static analysis *)
+  let src =
+    {|
+__global__ void maybe(const double *A, const double *Z, double *B, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    if (nx > 9999) {
+      B[j * nx + i] = Z[j * nx + i];
+    } else {
+      B[j * nx + i] = c * A[j * nx + i];
+    }
+  }
+}
+|}
+  in
+  let k = Kft_cuda.Parse.kernel src in
+  let dims = (16, 8, 4) in
+  let prog =
+    {
+      p_name = "t";
+      p_arrays = List.map (Util.arr3 dims) [ "A"; "Z"; "B" ];
+      p_kernels = [ k ];
+      p_schedule =
+        [ Launch { l_kernel = "maybe"; l_domain = (16, 8, 1); l_block = (8, 4, 1);
+                   l_args = Util.std_args dims [ "A"; "Z"; "B" ] 0.5 } ];
+    }
+  in
+  let mem = Mem.create prog.p_arrays in
+  let _, (reads, writes) = I.launch_with_usage mem prog (Util.launch_of prog "maybe") in
+  Alcotest.(check (list string)) "only the taken branch reads" [ "A" ] reads;
+  (* static analysis over-approximates: it reports Z as touched *)
+  let static_reads, _ = Kft_ddg.Ddg.arrays_touched prog (Util.launch_of prog "maybe") in
+  Alcotest.(check (list string)) "static over-approximation" [ "A"; "Z" ] (List.sort compare static_reads);
+  Alcotest.(check (list string)) "writes observed" [ "B" ] writes
+
+let usage_suite =
+  [
+    Alcotest.test_case "usage: reads/writes observed" `Quick test_usage_observed;
+    Alcotest.test_case "usage: dynamic vs static" `Quick test_usage_guarded_out;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Expression semantics details                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_expr_kernel body_src =
+  let src =
+    Printf.sprintf
+      {|
+__global__ void e(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    %s
+  }
+}
+|}
+      body_src
+  in
+  let prog = one_kernel_prog src "e" [ "A"; "B" ] 2.0 in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:11;
+  let a = Array.copy (Mem.get mem "A") in
+  ignore (I.launch mem prog (Util.launch_of prog "e"));
+  (a, Mem.get mem "B")
+
+let test_math_builtins () =
+  let a, b = run_expr_kernel "B[j * nx + i] = sqrt(fabs(A[j * nx + i])) + fmax(A[j * nx + i], 0.0);" in
+  Array.iteri
+    (fun i av ->
+      if i < 16 * 8 then
+        Util.check_float "sqrt/fabs/fmax" (sqrt (Float.abs av) +. Float.max av 0.0) b.(i))
+    a
+
+let test_ternary_and_intops () =
+  let _, b = run_expr_kernel "B[j * nx + i] = (i % 3 == 0 && j / 2 < 2) ? 1.0 : 0.0;" in
+  let nx = 16 in
+  for j = 0 to 7 do
+    for i = 0 to nx - 1 do
+      let expect = if i mod 3 = 0 && j / 2 < 2 then 1.0 else 0.0 in
+      Util.check_float "ternary/int ops" expect b.((j * nx) + i)
+    done
+  done
+
+let test_division_by_zero_caught () =
+  match run_expr_kernel "int z = 0; B[j * nx + i] = A[(j * nx + i) / z];" with
+  | (_ : float array * float array) -> Alcotest.fail "expected error"
+  | exception I.Sim_error _ -> ()
+
+let test_copies_are_noops () =
+  let prog = Util.producer_consumer_program ~dims:(16, 8, 4) ~block:(8, 4, 1) () in
+  let prog =
+    { prog with p_schedule = (Copy_to_device "A" :: prog.p_schedule) @ [ Copy_to_host "C" ] }
+  in
+  let mem = Mem.create prog.p_arrays in
+  Mem.init_seeded mem ~seed:5;
+  let results = I.run_schedule mem prog in
+  Alcotest.(check int) "copies skipped, launches run" 2 (List.length results)
+
+let semantics_suite =
+  [
+    Alcotest.test_case "math builtins" `Quick test_math_builtins;
+    Alcotest.test_case "ternary and integer ops" `Quick test_ternary_and_intops;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero_caught;
+    Alcotest.test_case "memcpy markers are no-ops" `Quick test_copies_are_noops;
+  ]

@@ -1,0 +1,96 @@
+(* Shared helpers for the test suites. *)
+
+open Kft_cuda.Ast
+
+let device = Kft_device.Device.k20x
+
+(* a 3D array declaration sized (nx, ny, nz) *)
+let arr3 (nx, ny, nz) name = { a_name = name; a_elem_ty = Double; a_dims = [ nx; ny; nz ] }
+
+(* standard launch args for the kernels produced by [stencil_src] *)
+let std_args dims arrays coef =
+  let nx, ny, nz = dims in
+  List.map (fun a -> Arg_array a) arrays @ [ Arg_int nx; Arg_int ny; Arg_int nz; Arg_double coef ]
+
+(* CUDA source for a guarded 7-point (or 5-point) stencil kernel *)
+let stencil_src ~name ~src ~dst ~margin ~threed =
+  let z_terms =
+    if threed then
+      Printf.sprintf
+        "+ %s[((k + 1) * ny + j) * nx + i] + %s[((k - 1) * ny + j) * nx + i]" src src
+    else ""
+  in
+  Printf.sprintf
+    {|
+__global__ void %s(const double *%s, double *%s, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= %d && i < nx - %d && j >= %d && j < ny - %d) {
+    for (int k = %d; k < nz - %d; k++) {
+      %s[(k * ny + j) * nx + i] = c * (%s[(k * ny + j) * nx + i + 1] + %s[(k * ny + j) * nx + i - 1]
+        + %s[(k * ny + (j + 1)) * nx + i] + %s[(k * ny + (j - 1)) * nx + i] %s);
+    }
+  }
+}
+|}
+    name src dst margin margin margin margin
+    (if threed then margin else 0)
+    (if threed then margin else 0)
+    dst src src src src z_terms
+
+(* pointwise kernel: dst = c * (a + b) *)
+let pointwise_src ~name ~a ~b ~dst =
+  Printf.sprintf
+    {|
+__global__ void %s(const double *%s, const double *%s, double *%s, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      %s[(k * ny + j) * nx + i] = c * (%s[(k * ny + j) * nx + i] + %s[(k * ny + j) * nx + i]);
+    }
+  }
+}
+|}
+    name a b dst dst a b
+
+(* two-kernel producer/consumer program used across suites *)
+let producer_consumer_program ?(dims = (32, 16, 8)) ?(block = (16, 4, 1)) () =
+  let nx, ny, _nz = dims in
+  ignore _nz;
+  let src =
+    stencil_src ~name:"produce" ~src:"A" ~dst:"B" ~margin:1 ~threed:true
+    ^ pointwise_src ~name:"consume" ~a:"B" ~b:"A" ~dst:"C"
+  in
+  let kernels = Kft_cuda.Parse.kernels src in
+  {
+    p_name = "producer_consumer";
+    p_arrays = [ arr3 dims "A"; arr3 dims "B"; arr3 dims "C" ];
+    p_kernels = kernels;
+    p_schedule =
+      [
+        Launch
+          { l_kernel = "produce"; l_domain = (nx, ny, 1); l_block = block;
+            l_args = std_args dims [ "A"; "B" ] 0.2 };
+        Launch
+          { l_kernel = "consume"; l_domain = (nx, ny, 1); l_block = block;
+            l_args = std_args dims [ "B"; "A"; "C" ] 0.5 };
+      ];
+  }
+
+let launch_of prog kernel =
+  List.find_map
+    (function Launch l when l.l_kernel = kernel -> Some l | _ -> None)
+    prog.p_schedule
+  |> Option.get
+
+(* float comparison for alcotest *)
+let close eps = Alcotest.testable Fmt.float (fun a b -> Float.abs (a -. b) <= eps)
+
+let check_float ?(eps = 1e-9) msg a b = Alcotest.check (close eps) msg a b
+
+let run_to_memory ?(seed = 42) prog =
+  let mem = Kft_sim.Memory.create prog.p_arrays in
+  Kft_sim.Memory.init_seeded mem ~seed;
+  ignore (Kft_sim.Interp.run_schedule mem prog);
+  mem
