@@ -18,7 +18,7 @@ let list_apps () =
     (Kft_apps.Apps.all ())
 
 let run app_name device_name generations population no_fission no_tuning expert_codegen filter
-    seed out_dir emit_cuda quiet list =
+    verify seed out_dir emit_cuda quiet list =
   if list then begin
     list_apps ();
     `Ok ()
@@ -52,6 +52,11 @@ let run app_name device_name generations population no_fission no_tuning expert_
                   | "auto" -> Kft_framework.Framework.Automated
                   | "manual" -> Kft_framework.Framework.Manual
                   | _ -> Kft_framework.Framework.No_filtering);
+                verify_mode =
+                  (match verify with
+                  | "off" -> Kft_framework.Framework.Verify_off
+                  | "fatal" -> Kft_framework.Framework.Verify_fatal
+                  | _ -> Kft_framework.Framework.Verify_advisory);
                 codegen_options;
                 seed;
                 gga_params =
@@ -89,8 +94,20 @@ let run app_name device_name generations population no_fission no_tuning expert_
                     output_string oc (Kft_cuda.Pp.program report.transformed));
                 Printf.printf "transformed CUDA written to %s\n" path
             | None -> ());
+            List.iter
+              (fun d ->
+                Printf.eprintf "kft-transform: [verify] %s\n"
+                  (Kft_verify.Verify.pp_diagnostic d))
+              report.verify_report.diagnostics;
             (match report.verified with
-            | Ok () -> `Ok ()
+            | Ok () -> (
+                match (verify, Kft_verify.Verify.is_clean report.verify_report) with
+                | "fatal", false ->
+                    `Error
+                      ( false,
+                        Printf.sprintf "static verification found %d defects"
+                          (List.length report.verify_report.diagnostics) )
+                | _ -> `Ok ())
             | Error diffs ->
                 `Error
                   ( false,
@@ -120,6 +137,9 @@ let cmd =
   let filter =
     Arg.(value & opt string "auto" & info [ "filter" ] ~docv:"auto|manual|none" ~doc:"Target-filtering mode.")
   in
+  let verify =
+    Arg.(value & opt string "advisory" & info [ "verify" ] ~docv:"off|advisory|fatal" ~doc:"Static race/barrier/bounds verification and translation validation of the generated kernels: record diagnostics (advisory), reject flagged fused groups and fail on residual defects (fatal), or skip (off).")
+  in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (GGA + data).") in
   let out_dir =
     Arg.(value & opt (some string) None & info [ "o"; "artifacts" ] ~docv:"DIR" ~doc:"Dump stage artifacts (metadata files, DOT graphs, GGA parameters).")
@@ -133,7 +153,7 @@ let cmd =
     Term.ret
       Term.(
         const run $ app_arg $ device $ generations $ population $ no_fission $ no_tuning
-        $ expert $ filter $ seed $ out_dir $ emit_cuda $ quiet $ list)
+        $ expert $ filter $ verify $ seed $ out_dir $ emit_cuda $ quiet $ list)
   in
   Cmd.v
     (Cmd.info "kft-transform" ~version:"1.0.0"

@@ -290,6 +290,24 @@ let check_group (members : C.member list) =
             then
               err "producer %s reads %s at halo positions across an in-group writer"
                 (member r).C.m_name a
+            else if
+              (* an earlier aligned writer is only safe when the producer's
+                 halo reads are served from that writer's tile; if the
+                 array is not staged (e.g. it has several in-group
+                 writers), the recompute would read global cells that
+                 another block's writer is updating concurrently — a data
+                 race the static verifier ([Kft_verify]) detects in the
+                 emitted kernel *)
+              writers <> []
+              && not
+                   (List.exists
+                      (fun s ->
+                        s.s_array = a
+                        && match s.s_kind with Produced w -> w < r | Reuse -> false)
+                      stages)
+            then
+              err "producer %s reads unstaged %s written earlier in the group"
+                (member r).C.m_name a
             else Ok ())
           (Ok ()) readers)
       (Ok ()) arrays
@@ -454,7 +472,17 @@ let array_decls members =
   List.concat_map (fun (m : C.member) -> m.m_arrays) members
   |> List.sort_uniq compare
 
-(* cooperative load of a reuse tile, one plane per iteration *)
+(* cooperative load of a reuse tile, one plane per iteration.
+
+   For [Produced] tiles the load is additionally restricted to cells
+   where the producer's recompute guard does {e not} hold: cells inside
+   the producer's domain are overwritten by the cooperative recompute
+   before any consumer reads them, so preloading them would be a dead
+   read — and, worse, a cross-block data race, because the adjacent
+   block writes the very same global cells back while this block is
+   still preloading its halo (caught by the static race detector of
+   [Kft_verify]). Cells outside the producer's guard keep the original
+   global data, matching the unfused semantics. *)
 let reuse_load g decls s =
   let r = s.s_radius in
   let w = g.bx + (2 * r) and h = g.by + (2 * r) in
@@ -482,6 +510,24 @@ let reuse_load g decls s =
   in
   let z = if nz > 1 then Some (if g.plan.p_has_kloop then kv else Int_lit 0) else None in
   let src = C.linear_index decl ~x:(Var gx) ~y:(Var gy) ~z in
+  let assign =
+    Assign (Lindex (s.s_tile, [ Var ly; Var lx ]), Index (s.s_array, [ src ]))
+  in
+  let hit =
+    match s.s_kind with
+    | Reuse -> [ assign ]
+    | Produced w ->
+        let m = List.find (fun (m : C.member) -> m.m_index = w) g.plan.p_members in
+        let pc =
+          match member_cond g m ~rename_gi:gx ~rename_gj:gy with
+          | Some pc -> pc
+          | None ->
+              (* a producer guard always materializes (domain bounds at
+                 minimum); defend against a future relaxation *)
+              Int_lit 1
+        in
+        [ If (pc, [], [ assign ]) ]
+  in
   For
     {
       index = c;
@@ -500,10 +546,7 @@ let reuse_load g decls s =
             ( Int,
               gy,
               Some (Binop (Sub, Binop (Add, Binop (Mul, Builtin (Block_idx Y), Int_lit g.by), Var ly), Int_lit r)) );
-          If
-            ( Option.get (conj guard),
-              [ Assign (Lindex (s.s_tile, [ Var ly; Var lx ]), Index (s.s_array, [ src ])) ],
-              [] );
+          If (Option.get (conj guard), hit, []);
         ];
     }
 
@@ -629,10 +672,11 @@ let build device options ~name ~block:(bx, by) plan =
           plan.p_stages
     in
     let plane =
-      (* every tile is preloaded with the array's current values: for
-         Reuse tiles this is the staging load itself; for Produced tiles
-         it makes cells outside the producer's guard read as the
-         original global data, matching the unfused semantics *)
+      (* Reuse tiles are preloaded with the array's current values (the
+         staging load itself); Produced tiles are preloaded only outside
+         the producer's guard, so those cells read as the original global
+         data while guarded cells come exclusively from the cooperative
+         recompute (see [reuse_load] for the race this avoids) *)
       let loads = List.map (reuse_load g decls) plan.p_stages in
       let loads = if loads <> [] then loads @ [ Syncthreads ] else [] in
       let member_stmts =

@@ -1,1 +1,1 @@
-lib/cuda/check.ml: Ast Hashtbl List Option Printf
+lib/cuda/check.ml: Ast Hashtbl List Loc Option Printf

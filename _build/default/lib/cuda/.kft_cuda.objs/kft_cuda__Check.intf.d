@@ -1,1 +1,1 @@
-lib/cuda/check.mli: Ast
+lib/cuda/check.mli: Ast Loc

@@ -1,1 +1,1 @@
-lib/cuda/lexer.ml: List Printf String
+lib/cuda/lexer.ml: List Loc Printf String

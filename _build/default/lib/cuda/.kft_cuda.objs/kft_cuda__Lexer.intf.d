@@ -1,1 +1,1 @@
-lib/cuda/lexer.mli:
+lib/cuda/lexer.mli: Loc

@@ -1,1 +1,1 @@
-lib/cuda/parse.ml: Ast Lexer List Option Printf
+lib/cuda/parse.ml: Ast Lexer List Loc Option Printf

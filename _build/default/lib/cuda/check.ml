@@ -2,16 +2,56 @@ open Ast
 
 type error = {
   where : string;
+  loc : Loc.pos;
   what : string;
 }
 
-let pp_error e = Printf.sprintf "%s: %s" e.where e.what
+let pp_error e =
+  if Loc.is_none e.loc then Printf.sprintf "%s:%s" e.where e.what
+  else Printf.sprintf "%s:%s:%s" e.where (Loc.pp e.loc) e.what
+
+let dedupe errs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun e ->
+      if Hashtbl.mem seen e then false
+      else begin
+        Hashtbl.replace seen e ();
+        true
+      end)
+    errs
 
 type binding = Scalar of scalar_ty | Global_array of bool (* writable *) | Shared_array of int
 
+(* Scalars whose value may differ between threads of a block: anything
+   (transitively) computed from threadIdx.  blockIdx/blockDim/gridDim are
+   uniform across the block and do not taint. *)
+let thread_dependent tainted e =
+  fold_expr
+    (fun acc e ->
+      acc
+      ||
+      match e with
+      | Builtin (Thread_idx _) -> true
+      | Var v -> List.mem v tainted
+      | Index (_, _) ->
+          (* a load's value may differ per thread as soon as any subscript
+             does; subscripts are sub-expressions of this fold, so a
+             conservative "tainted if any subscript is" is what the
+             recursive fold already gives us. Treat the load itself as
+             uniform unless a subscript taints it. *)
+          false
+      | _ -> false)
+    false e
+
 let kernel (k : kernel) =
   let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun what -> errors := { where = k.k_name; what } :: !errors) fmt in
+  let current_loc = ref Loc.none in
+  let err fmt =
+    Printf.ksprintf
+      (fun what -> errors := { where = k.k_name; loc = !current_loc; what } :: !errors)
+      fmt
+  in
   let scope : (string, binding) Hashtbl.t = Hashtbl.create 32 in
   let declare name b =
     if Hashtbl.mem scope name then err "identifier %s declared twice" name
@@ -53,12 +93,24 @@ let kernel (k : kernel) =
         check_expr a;
         check_expr b
   in
-  let rec check_stmts stmts =
+  let contains_barrier stmts =
+    fold_stmts (fun acc s -> acc || s = Syncthreads) false stmts
+  in
+  (* [tainted]: thread-dependent scalars in scope; [divergent]: are we
+     statically under a thread-dependent conditional? *)
+  let rec check_stmts ~tainted ~divergent stmts =
+    let tainted = ref tainted in
     List.iter
       (fun s ->
-        match s with
+        let saved = !current_loc in
+        let here = Loc.find s in
+        if not (Loc.is_none here) then current_loc := here;
+        (match s with
         | Decl (ty, v, init) ->
             Option.iter check_expr init;
+            (match init with
+            | Some e when thread_dependent !tainted e -> tainted := v :: !tainted
+            | _ -> ());
             declare v (Scalar ty)
         | Shared_decl (_, n, dims) ->
             if List.exists (fun d -> d <= 0) dims then
@@ -69,6 +121,7 @@ let kernel (k : kernel) =
             | Some (Scalar _) -> ()
             | Some _ -> err "array %s assigned as a scalar" v
             | None -> err "assignment to undeclared identifier %s" v);
+            if thread_dependent !tainted e then tainted := v :: !tainted;
             check_expr e
         | Assign (Lindex (a, idxs), e) ->
             (match Hashtbl.find_opt scope a with
@@ -86,8 +139,11 @@ let kernel (k : kernel) =
             check_expr e
         | If (c, t, e) ->
             check_expr c;
-            check_stmts t;
-            check_stmts e
+            let div_here = divergent || thread_dependent !tainted c in
+            if (not divergent) && div_here && (contains_barrier t || contains_barrier e) then
+              err "__syncthreads() under thread-dependent conditional";
+            check_stmts ~tainted:!tainted ~divergent:div_here t;
+            check_stmts ~tainted:!tainted ~divergent:div_here e
         | For l ->
             check_expr l.lo;
             check_expr l.hi;
@@ -95,18 +151,27 @@ let kernel (k : kernel) =
             (* the loop index scopes over its body only, but redeclaring an
                outer name is still a (shadowing) error in the subset *)
             declare l.index (Scalar Int);
-            check_stmts l.body;
+            let trip_divergent =
+              thread_dependent !tainted l.lo || thread_dependent !tainted l.hi
+            in
+            if (not divergent) && trip_divergent && contains_barrier l.body then
+              err "__syncthreads() inside loop with thread-dependent trip count";
+            let tainted' =
+              if trip_divergent then l.index :: !tainted else !tainted
+            in
+            check_stmts ~tainted:tainted' ~divergent:(divergent || trip_divergent) l.body;
             Hashtbl.remove scope l.index
-        | Syncthreads | Return -> ())
+        | Syncthreads | Return -> ());
+        current_loc := saved)
       stmts
   in
-  check_stmts k.k_body;
-  List.rev !errors
+  check_stmts ~tainted:[] ~divergent:false k.k_body;
+  dedupe (List.rev !errors)
 
 let program (p : program) =
   let errors = ref [] in
   let err where fmt =
-    Printf.ksprintf (fun what -> errors := { where; what } :: !errors) fmt
+    Printf.ksprintf (fun what -> errors := { where; loc = Loc.none; what } :: !errors) fmt
   in
   (* uniqueness *)
   let seen = Hashtbl.create 32 in
@@ -124,7 +189,9 @@ let program (p : program) =
         err p.p_name "array %s has a non-positive extent" a.a_name)
     p.p_arrays;
   (* kernel-local checks *)
-  List.iter (fun k -> errors := List.rev_append (List.rev (kernel k)) !errors) p.p_kernels;
+  List.iter
+    (fun (k : Ast.kernel) -> errors := List.rev_append (List.rev (kernel k)) !errors)
+    p.p_kernels;
   (* launches *)
   List.iteri
     (fun i op ->
@@ -163,4 +230,4 @@ let program (p : program) =
               if bx <= 0 || by <= 0 || bz <= 0 then err where "non-positive block";
               if bx * by * bz > 1024 then err where "block exceeds 1024 threads"))
     p.p_schedule;
-  List.rev !errors
+  dedupe (List.rev !errors)

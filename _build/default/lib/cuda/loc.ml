@@ -1,0 +1,52 @@
+type pos = { line : int; col : int }
+
+let none = { line = 0; col = 0 }
+let is_none p = p.line = 0
+let pp p = if is_none p then "" else Printf.sprintf "%d:%d" p.line p.col
+
+(* Side table keyed on the physical identity of statement values.
+   Buckets come from the structural hash (cheap, depth-bounded); matches
+   require pointer equality, so two structurally equal statements from
+   different parses keep distinct positions.  Constant constructors
+   (Syncthreads, Return) are immediates shared by every occurrence and
+   are never stored. *)
+module Tbl = Hashtbl.Make (struct
+  type t = Ast.stmt
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let table : pos Tbl.t = Tbl.create 1024
+let is_immediate (s : Ast.stmt) = Obj.is_int (Obj.repr s)
+
+let record s p =
+  if not (is_immediate s) then Tbl.replace table s p;
+  s
+
+let find s = if is_immediate s then none else try Tbl.find table s with Not_found -> none
+
+let locate body s =
+  let p = find s in
+  if not (is_none p) then p
+  else
+    (* Fall back to the closest located ancestor (physical identity). *)
+    let result = ref none in
+    let rec walk inherited stmts =
+      List.iter
+        (fun (st : Ast.stmt) ->
+          let here =
+            let q = find st in
+            if is_none q then inherited else q
+          in
+          if st == s && is_none !result then result := here;
+          match st with
+          | Ast.If (_, t, e) ->
+              walk here t;
+              walk here e
+          | Ast.For f -> walk here f.body
+          | _ -> ())
+        stmts
+    in
+    walk none body;
+    !result

@@ -1,16 +1,18 @@
 open Ast
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
-type state = { mutable toks : (Lexer.token * int) list }
+type state = { mutable toks : (Lexer.token * Loc.pos) list }
 
 let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
 
 let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
 
-let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let pos st = match st.toks with (_, p) :: _ -> p | [] -> Loc.none
 
-let fail st message = raise (Parse_error { line = line st; message })
+let fail st message =
+  let p = pos st in
+  raise (Parse_error { line = p.Loc.line; col = p.Loc.col; message })
 
 let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
@@ -216,6 +218,12 @@ let desugar_compound lv op rhs =
   Assign (lv, Binop (op, as_expr, rhs))
 
 let rec parse_stmt st =
+  (* Capture the position of the statement's first token and remember it
+     for the constructed node (see {!Loc}). *)
+  let p = pos st in
+  Loc.record (parse_stmt_raw st) p
+
+and parse_stmt_raw st =
   match peek st with
   | Lexer.KW_SHARED ->
       advance st;
@@ -408,7 +416,7 @@ let parse_kernel st =
 let with_state src f =
   match Lexer.tokenize src with
   | toks -> f { toks }
-  | exception Lexer.Lex_error { line; message; _ } -> raise (Parse_error { line; message })
+  | exception Lexer.Lex_error { line; col; message } -> raise (Parse_error { line; col; message })
 
 let kernels src =
   with_state src (fun st ->
@@ -423,7 +431,11 @@ let kernel src =
   | ks ->
       raise
         (Parse_error
-           { line = 1; message = Printf.sprintf "expected exactly one kernel, found %d" (List.length ks) })
+           {
+             line = 1;
+             col = 1;
+             message = Printf.sprintf "expected exactly one kernel, found %d" (List.length ks);
+           })
 
 let expr src =
   with_state src (fun st ->

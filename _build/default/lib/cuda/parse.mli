@@ -4,7 +4,7 @@
     message, mirroring how the paper's frontend rejects unsupported
     stencil forms (Section 7). *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
 val kernels : string -> Ast.kernel list
 (** Parse a compilation unit of [__global__] function definitions.

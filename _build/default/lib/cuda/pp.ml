@@ -110,6 +110,8 @@ let kernel k =
     (String.concat ", " (List.map param k.k_params))
     (body ~indent:2 k.k_body)
 
+let kernels ks = String.concat "\n" (List.map kernel ks)
+
 let arg = function
   | Arg_array a -> a
   | Arg_int i -> string_of_int i

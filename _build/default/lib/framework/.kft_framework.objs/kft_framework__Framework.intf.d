@@ -1,1 +1,1 @@
-lib/framework/framework.mli: Kft_analysis Kft_codegen Kft_cuda Kft_ddg Kft_device Kft_fission Kft_gga Kft_metadata Kft_sim
+lib/framework/framework.mli: Kft_analysis Kft_codegen Kft_cuda Kft_ddg Kft_device Kft_fission Kft_gga Kft_metadata Kft_sim Kft_verify

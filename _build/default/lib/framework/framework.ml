@@ -8,14 +8,18 @@ module Codegen = Kft_codegen.Codegen
 module Fusion = Kft_codegen.Fusion
 module Canonical = Kft_codegen.Canonical
 module Classify = Kft_analysis.Classify
+module Verify = Kft_verify.Verify
 
 type filter_mode = Automated | Manual | No_filtering
+
+type verify_mode = Verify_off | Verify_advisory | Verify_fatal
 
 type config = {
   device : Kft_device.Device.t;
   gga_params : Gga.params;
   codegen_options : Fusion.options;
   filter_mode : filter_mode;
+  verify_mode : verify_mode;
   seed : int;
   verify_tolerance : float;
 }
@@ -26,6 +30,7 @@ let default_config =
     gga_params = Gga.default_params;
     codegen_options = Fusion.auto_options;
     filter_mode = Automated;
+    verify_mode = Verify_advisory;
     seed = 42;
     verify_tolerance = 1e-9;
   }
@@ -64,6 +69,8 @@ type report = {
   transformed_run : Kft_sim.Profiler.run;
   speedup : float;
   verified : (unit, (string * float) list) result;
+  verify_report : Verify.report;
+  rejected_groups : (string * string) list;
   new_graphs : Ddg.t;
 }
 
@@ -410,7 +417,65 @@ let transform ?(config = default_config) ?(hooks = no_hooks) prog =
       graphs'.invocations
   in
   let groups = List.map launches_of_gid ordered_gids |> List.filter (fun g -> g <> []) in
-  let codegen = Codegen.transform ~options:config.codegen_options device prog' ~groups in
+  let codegen0 = Codegen.transform ~options:config.codegen_options device prog' ~groups in
+  (* post-codegen verification gate: passes 1-3 of [Kft_verify] over every
+     emitted kernel plus translation validation of each fused group
+     against the (post-fission) source program. Advisory mode records the
+     report; fatal mode additionally rejects any fused kernel carrying a
+     diagnostic -- its group is split back into singletons and code
+     generation re-runs, mirroring the codegen's own fallback for
+     infeasible groups. *)
+  let validate cg =
+    match config.verify_mode with
+    | Verify_off -> Verify.empty_report
+    | Verify_advisory | Verify_fatal ->
+        Verify.validate ~options:config.codegen_options ~source:prog' cg
+  in
+  let rec gate attempts groups (cg : Codegen.result) (vr : Verify.report) rejected =
+    if config.verify_mode <> Verify_fatal || Verify.is_clean vr || attempts <= 0 then
+      (cg, vr, rejected)
+    else begin
+      let flagged_kernels =
+        List.sort_uniq compare (List.map (fun (d : Verify.diagnostic) -> d.d_kernel) vr.diagnostics)
+      in
+      let flagged_reports =
+        List.filter
+          (fun (r : Codegen.kernel_report) ->
+            r.fusion_kind <> `None && List.mem r.new_kernel flagged_kernels)
+          cg.reports
+      in
+      if flagged_reports = [] then
+        (* the defects are not attributable to fusion (they would have to
+           come from the source kernels themselves); unfusing further
+           cannot help *)
+        (cg, vr, rejected)
+      else begin
+        let flagged_members =
+          List.concat_map (fun (r : Codegen.kernel_report) -> r.members) flagged_reports
+        in
+        let groups' =
+          List.concat_map
+            (fun g ->
+              if List.exists (fun (l : launch) -> List.mem l.l_kernel flagged_members) g
+              then List.map (fun l -> [ l ]) g
+              else [ g ])
+            groups
+        in
+        let rejected' =
+          rejected
+          @ List.map
+              (fun (r : Codegen.kernel_report) ->
+                ( r.new_kernel,
+                  Printf.sprintf "verification rejected the fused group [%s]"
+                    (String.concat "," r.members) ))
+              flagged_reports
+        in
+        let cg' = Codegen.transform ~options:config.codegen_options device prog' ~groups:groups' in
+        gate (attempts - 1) groups' cg' (validate cg') rejected'
+      end
+    end
+  in
+  let codegen, verify_report, rejected_groups = gate 4 groups codegen0 (validate codegen0) [] in
   let transformed = codegen.program in
   let transformed_run = Kft_sim.Profiler.profile ~seed:config.seed device transformed in
   let verified =
@@ -431,6 +496,8 @@ let transform ?(config = default_config) ?(hooks = no_hooks) prog =
     transformed_run;
     speedup = Kft_sim.Profiler.speedup ~original:baseline ~transformed:transformed_run;
     verified;
+    verify_report;
+    rejected_groups;
     new_graphs = Ddg.build transformed;
   }
 
@@ -484,6 +551,19 @@ let stage_report r =
         rep.occupancy_before rep.occupancy_after
         (match rep.notes with [] -> "" | n -> " !! " ^ String.concat "; " n))
     r.codegen.reports;
+  p "";
+  p "== verification (kft_verify) ==";
+  (let v = r.verify_report in
+   if v.stats.launches_checked = 0 && v.diagnostics = [] then p "  skipped (verify_mode = off)"
+   else begin
+     p "  %d launches checked, %d blocks sampled, %d threads walked, %d events%s"
+       v.stats.launches_checked v.stats.blocks_sampled v.stats.threads_walked v.stats.events
+       (if v.complete then "" else " (budget exhausted: report incomplete)");
+     (match v.diagnostics with
+     | [] -> p "  clean: no races, barrier divergence, bounds violations or order violations"
+     | ds -> List.iter (fun d -> p "  %s" (Verify.pp_diagnostic d)) ds);
+     List.iter (fun (k, reason) -> p "  %s: %s" k reason) r.rejected_groups
+   end);
   p "";
   p "== result ==";
   p "speedup: %.3fx (%.1f us -> %.1f us), verification: %s" r.speedup r.baseline.total_time_us

@@ -13,18 +13,30 @@ type filter_mode =
   | Manual  (** expert filtering: additionally drops latency-bound kernels (Figure 8) *)
   | No_filtering  (** ablation: everything is a target (2.5x slower convergence claim) *)
 
+type verify_mode =
+  | Verify_off  (** skip static verification entirely *)
+  | Verify_advisory
+      (** run [Kft_verify] after code generation and record the report
+          (the default) *)
+  | Verify_fatal
+      (** additionally reject any fused kernel carrying a diagnostic:
+          its group is split back into singletons and code generation
+          re-runs (bounded), so the transformed program ships without
+          statically detected races / bounds / order violations *)
+
 type config = {
   device : Kft_device.Device.t;
   gga_params : Kft_gga.Gga.params;
   codegen_options : Kft_codegen.Fusion.options;
   filter_mode : filter_mode;
+  verify_mode : verify_mode;
   seed : int;
   verify_tolerance : float;
 }
 
 val default_config : config
 (** K20X, the paper's GGA defaults, automated codegen, automated
-    filtering. *)
+    filtering, advisory static verification. *)
 
 type hooks = {
   amend_metadata : Kft_metadata.Metadata.t -> Kft_metadata.Metadata.t;
@@ -58,6 +70,14 @@ type report = {
   transformed_run : Kft_sim.Profiler.run;
   speedup : float;
   verified : (unit, (string * float) list) result;
+  verify_report : Kft_verify.Verify.report;
+      (** static verification of the emitted kernels plus translation
+          validation of every fused group ({!Kft_verify.Verify.validate});
+          {!Kft_verify.Verify.empty_report} when [verify_mode] is
+          {!Verify_off} *)
+  rejected_groups : (string * string) list;
+      (** (fused kernel, reason) pairs for groups the fatal gate split
+          back into singletons; always [] outside {!Verify_fatal} *)
   new_graphs : Kft_ddg.Ddg.t;  (** DDG/OEG of the transformed program *)
 }
 

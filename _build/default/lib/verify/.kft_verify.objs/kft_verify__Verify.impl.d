@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Array Hashtbl Kft_analysis Kft_codegen Kft_cuda Kft_ddg List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Kft_codegen Kft_cuda

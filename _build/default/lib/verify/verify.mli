@@ -1,0 +1,105 @@
+(** Static race / barrier / bounds verifier with translation validation
+    ("kft_verify").
+
+    The transformation pipeline's soundness story used to rest on the
+    informal legality rules of [Fusion.check_group] plus dynamic checks
+    in the simulator: a race or a divergent barrier in a {e generated}
+    fused kernel was only caught if a test input happened to trip it.
+    This module proves the absence of those defects statically, per
+    launch, with four cooperating passes:
+
+    {ol
+    {- {b Shared-memory race detection} — a may-happen-in-parallel
+       analysis. Each kernel body is segmented at [__syncthreads()]
+       barriers (sound because pass 2 first proves every barrier is
+       uniform); per-thread index expressions of shared-array accesses
+       are evaluated exactly for every thread of a sampled set of
+       blocks (the affine probe of [Analysis.Access.affine_threads]
+       classifies the subscripts; the concrete walker decides overlap,
+       which also covers the non-affine cooperative-load subscripts
+       [c % w] / [c / w] the code generator emits). Two accesses to the
+       same cell by distinct threads inside one barrier interval with at
+       least one write is a race.}
+    {- {b Barrier divergence} — statically proves no barrier sits under
+       a thread-dependent conditional or inside a loop whose trip count
+       depends on [threadIdx] (a taint analysis from [threadIdx] through
+       scalar assignments; the simulator only catches this dynamically).}
+    {- {b Bounds / halo checking} — every global access's linearized
+       index is checked against the bound array's extent for every
+       walked thread, and shared subscripts against the declared tile
+       shape, so an out-of-bounds halo read is reported with the exact
+       offending index.}
+    {- {b Translation validation} — passes 1–3 run over every kernel
+       [Codegen]/[Fusion] emit, and fused kernels are additionally
+       checked to preserve the member-order dependences recorded in the
+       source program's DDG/OEG, with the group's legality re-derived
+       through [Fusion.check_group]. A failed validation rejects the
+       group (the framework re-emits its members unfused), mirroring
+       {e and} cross-checking the forward legality rules.}}
+
+    Sampling: blocks are enumerated at the grid corners plus the first
+    interior neighbours (where halo overlap between adjacent blocks
+    materializes); threads are enumerated exhaustively within each
+    sampled block. An event budget bounds the walk; exhausting it marks
+    the report incomplete rather than wrong. *)
+
+type pass = Race | Barrier | Bounds | Translation | Engine
+
+val pass_name : pass -> string
+
+type diagnostic = {
+  d_kernel : string;  (** kernel the defect was found in *)
+  d_pass : pass;
+  d_loc : Kft_cuda.Loc.pos;
+      (** source position of the offending statement when the kernel was
+          parsed from text; {!Kft_cuda.Loc.none} for synthesized ASTs *)
+  d_stmt : string;  (** one-line rendering of the offending statement *)
+  d_message : string;
+}
+
+val pp_diagnostic : diagnostic -> string
+(** [kernel:line:col:[pass] message -- statement], matching the uniform
+    [where:what] shape of [Cuda.Check.pp_error]. *)
+
+type stats = {
+  launches_checked : int;
+  blocks_sampled : int;
+  threads_walked : int;
+  events : int;  (** statements executed by the per-thread walker *)
+}
+
+type report = {
+  diagnostics : diagnostic list;
+  stats : stats;
+  complete : bool;  (** [false] when the event budget was exhausted *)
+}
+
+val empty_report : report
+
+val merge : report -> report -> report
+
+val is_clean : report -> bool
+(** No diagnostics at all (engine notes included: an advisory the engine
+    could not resolve statically is not a clean bill). *)
+
+val default_budget : int
+
+val verify_launch :
+  ?budget:int -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> report
+(** Passes 1–3 over one launch of the program's schedule. *)
+
+val verify_program : ?budget:int -> Kft_cuda.Ast.program -> report
+(** Passes 1–3 over every launch of the schedule. *)
+
+val validate :
+  ?budget:int ->
+  ?options:Kft_codegen.Fusion.options ->
+  source:Kft_cuda.Ast.program ->
+  Kft_codegen.Codegen.result ->
+  report
+(** Translation validation (pass 4) of a code-generation result against
+    the [source] program it was derived from (post-fission): verifies
+    every emitted kernel with passes 1–3, re-checks each fused group's
+    legality through [Fusion.check_group] on freshly extracted canonical
+    members, and rejects fused kernels whose member order contradicts
+    the source OEG. Diagnostics carry the {e fused} kernel's name. *)

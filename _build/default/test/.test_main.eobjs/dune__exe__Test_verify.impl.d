@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Kft_apps Kft_codegen Kft_cuda Kft_framework Kft_gga Kft_verify List String Util

@@ -15,4 +15,5 @@ let () =
       ("framework", Test_framework.suite @ Test_framework.validation_suite);
       ("apps", Test_apps.suite);
       ("end-to-end", Test_endtoend.suite);
+      ("verify", Test_verify.suite @ Test_verify.roundtrip_suite);
     ]

@@ -10,10 +10,18 @@
 
 type error = {
   where : string;  (** kernel or launch the error was found in *)
+  loc : Loc.pos;  (** source position of the offending statement, or {!Loc.none} *)
   what : string;
 }
 
 val pp_error : error -> string
+(** Uniform [where:what] rendering; [where:line:col:what] when a source
+    position is known. *)
+
+val dedupe : error list -> error list
+(** Drop exact duplicates (same kernel, position and message), keeping
+    first-occurrence order. Applied by {!kernel} and {!program}
+    already; exposed for callers that merge several reports. *)
 
 val kernel : Ast.kernel -> error list
 (** Checks on one kernel:
@@ -24,7 +32,11 @@ val kernel : Ast.kernel -> error list
     - shared arrays are indexed with exactly their declared rank and
       global (pointer-parameter) arrays with a single linear index;
     - array parameters declared [const] are never written;
-    - [__shared__] declarations have positive extents. *)
+    - [__shared__] declarations have positive extents;
+    - no [__syncthreads()] sits under a statically thread-dependent
+      conditional or inside a loop whose trip count depends on
+      [threadIdx] (the statically-detectable core of barrier
+      divergence; the full analysis lives in [Kft_verify]). *)
 
 val program : Ast.program -> error list
 (** All kernel checks, plus:

@@ -81,9 +81,12 @@ let tokenize src =
   let line = ref 1 in
   let line_start = ref 0 in
   let toks = ref [] in
-  let emit t = toks := (t, !line) :: !toks in
+  let emit_at start t =
+    toks := (t, { Loc.line = !line; col = start - !line_start + 1 }) :: !toks
+  in
   let error i msg = raise (Lex_error { line = !line; col = i - !line_start + 1; message = msg }) in
   let i = ref 0 in
+  let emit t = emit_at !i t in
   while !i < n do
     let c = src.[!i] in
     let peek k = if !i + k < n then Some src.[!i + k] else None in
@@ -112,8 +115,8 @@ let tokenize src =
         while !i < n && is_ident_char src.[!i] do incr i done;
         let word = String.sub src start (!i - start) in
         (match List.assoc_opt word keyword_table with
-        | Some kw -> emit kw
-        | None -> emit (IDENT word))
+        | Some kw -> emit_at start kw
+        | None -> emit_at start (IDENT word))
     | c when is_digit c ->
         let start = !i in
         while !i < n && is_digit src.[!i] do incr i done;
@@ -140,7 +143,8 @@ let tokenize src =
           then String.sub text 0 (String.length text - 1)
           else text
         in
-        if !is_float then emit (FLOAT (float_of_string text)) else emit (INT (int_of_string text))
+        if !is_float then emit_at start (FLOAT (float_of_string text))
+        else emit_at start (INT (int_of_string text))
     | '(' -> emit LPAREN; incr i
     | ')' -> emit RPAREN; incr i
     | '{' -> emit LBRACE; incr i

@@ -29,7 +29,8 @@ exception Lex_error of { line : int; col : int; message : string }
 
 val token_to_string : token -> string
 
-val tokenize : string -> (token * int) list
-(** Token stream with 1-based line numbers; comments ([//] and
-    [/* */]) and whitespace are skipped. Ends with [(EOF, line)].
-    Raises {!Lex_error} on an unexpected character. *)
+val tokenize : string -> (token * Loc.pos) list
+(** Token stream with the 1-based line/column of each token's first
+    character; comments ([//] and [/* */]) and whitespace are skipped.
+    Ends with [(EOF, pos)]. Raises {!Lex_error} on an unexpected
+    character. *)

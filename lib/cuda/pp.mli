@@ -18,6 +18,11 @@ val body : ?indent:int -> Ast.stmt list -> string
 val kernel : Ast.kernel -> string
 (** Full [__global__ void ...] definition. *)
 
+val kernels : Ast.kernel list -> string
+(** All kernel definitions, blank-line separated. Unlike {!program}
+    (whose host fragment uses [<<<...>>>] and comments), this text
+    re-parses with {!Parse.kernels} — the round-trip surface. *)
+
 val host_schedule : Ast.program -> string
 (** The host-side driver fragment: array sizes as comments, kernel
     launches with explicit grid/block dimensions, and memcpy markers. *)

@@ -38,7 +38,7 @@ let test_lexer_keywords () =
 
 let test_lexer_error () =
   match L.tokenize "a @ b" with
-  | (_ : (L.token * int) list) -> Alcotest.fail "expected lex error"
+  | (_ : (L.token * Kft_cuda.Loc.pos) list) -> Alcotest.fail "expected lex error"
   | exception L.Lex_error { line = 1; _ } -> ()
 
 let test_expr_precedence () =

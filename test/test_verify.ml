@@ -1,0 +1,266 @@
+(* kft_verify: static race / barrier / bounds verification and
+   translation validation.
+
+   Negative fixtures are written as CUDA text and parsed, so the
+   diagnostics also exercise the source-position plumbing (satellite of
+   the same PR): a defect must be reported with the kernel name and a
+   real line/column. *)
+
+open Kft_cuda.Ast
+module V = Kft_verify.Verify
+module F = Kft_framework.Framework
+
+let dims = (32, 8, 4)
+
+let program_of ?(block = (16, 4, 1)) ~arrays ~src launches =
+  let nx, ny, nz = dims in
+  {
+    p_name = "fixture";
+    p_arrays =
+      List.map (fun a -> { a_name = a; a_elem_ty = Double; a_dims = [ nx; ny; nz ] }) arrays;
+    p_kernels = Kft_cuda.Parse.kernels src;
+    p_schedule =
+      List.map
+        (fun (kernel, args) ->
+          Launch { l_kernel = kernel; l_domain = (nx, ny, 1); l_block = block; l_args = args })
+        launches;
+  }
+
+let has_pass pass (r : V.report) =
+  List.exists (fun (d : V.diagnostic) -> d.d_pass = pass) r.diagnostics
+
+let diag_of pass (r : V.report) =
+  List.find (fun (d : V.diagnostic) -> d.d_pass = pass) r.diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* negative fixtures                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_shared_race () =
+  (* every thread of a row writes s[ty][0]: intra-interval WW race *)
+  let src =
+    {|
+__global__ void collide(const double *A, double *B, int nx, int ny) {
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int gi = blockIdx.x * blockDim.x + tx;
+  int gj = blockIdx.y * blockDim.y + ty;
+  __shared__ double s[4][16];
+  s[ty][0] = A[gj * nx + gi];
+  __syncthreads();
+  if (gi < nx && gj < ny) {
+    B[gj * nx + gi] = s[ty][0];
+  }
+}
+|}
+  in
+  let nx, ny, _ = dims in
+  let prog =
+    program_of ~arrays:[ "A"; "B" ] ~src
+      [ ("collide", [ Arg_array "A"; Arg_array "B"; Arg_int nx; Arg_int ny ]) ]
+  in
+  let r = V.verify_program prog in
+  Alcotest.(check bool) "race reported" true (has_pass V.Race r);
+  let d = diag_of V.Race r in
+  Alcotest.(check string) "kernel named" "collide" d.d_kernel;
+  Alcotest.(check bool) "carries a source line" true (d.d_loc.line > 0);
+  Alcotest.(check bool) "names the tile" true
+    (let open String in
+     length d.d_message > 0 && d.d_stmt <> "")
+
+let test_divergent_barrier () =
+  let src =
+    {|
+__global__ void divb(double *B, int nx, int ny) {
+  int tx = threadIdx.x;
+  int gi = blockIdx.x * blockDim.x + tx;
+  int gj = blockIdx.y * blockDim.y + threadIdx.y;
+  if (tx < 8) {
+    __syncthreads();
+  }
+  if (gi < nx && gj < ny) {
+    B[gj * nx + gi] = 1.0;
+  }
+}
+|}
+  in
+  let nx, ny, _ = dims in
+  let prog =
+    program_of ~arrays:[ "B" ] ~src
+      [ ("divb", [ Arg_array "B"; Arg_int nx; Arg_int ny ]) ]
+  in
+  let r = V.verify_program prog in
+  Alcotest.(check bool) "barrier divergence reported" true (has_pass V.Barrier r);
+  let d = diag_of V.Barrier r in
+  Alcotest.(check string) "kernel named" "divb" d.d_kernel;
+  Alcotest.(check bool) "carries a source line" true (d.d_loc.line > 0);
+  (* the frontend checker (same PR) rejects it statically too *)
+  let k = List.find (fun k -> k.k_name = "divb") prog.p_kernels in
+  Alcotest.(check bool) "Check.kernel rejects it" true (Kft_cuda.Check.kernel k <> [])
+
+let test_oob_halo () =
+  (* unguarded left-halo read: thread (0,_) of block (0,_) reads A[-1] *)
+  let src =
+    {|
+__global__ void oob(const double *A, double *B, int nx, int ny) {
+  int gi = blockIdx.x * blockDim.x + threadIdx.x;
+  int gj = blockIdx.y * blockDim.y + threadIdx.y;
+  if (gi < nx && gj < ny) {
+    B[gj * nx + gi] = A[gj * nx + gi - 1];
+  }
+}
+|}
+  in
+  let nx, ny, _ = dims in
+  let prog =
+    program_of ~arrays:[ "A"; "B" ] ~src
+      [ ("oob", [ Arg_array "A"; Arg_array "B"; Arg_int nx; Arg_int ny ]) ]
+  in
+  let r = V.verify_program prog in
+  Alcotest.(check bool) "bounds violation reported" true (has_pass V.Bounds r);
+  let d = diag_of V.Bounds r in
+  Alcotest.(check string) "kernel named" "oob" d.d_kernel;
+  Alcotest.(check bool) "carries a source line" true (d.d_loc.line > 0);
+  Alcotest.(check bool) "message names the array" true
+    (let rec contains i =
+       i + 1 <= String.length d.d_message && (String.sub d.d_message i 1 = "A" || contains (i + 1))
+     in
+     contains 0)
+
+let test_order_violation () =
+  (* producer/consumer fused in the wrong member order: check_group
+     accepts it (origin-only WAR), but the member order contradicts the
+     source DDG, which translation validation must reject *)
+  let src =
+    String.concat "\n"
+      [
+        Util.pointwise_src ~name:"produce" ~a:"A" ~b:"A" ~dst:"V";
+        Util.pointwise_src ~name:"consume" ~a:"V" ~b:"V" ~dst:"W";
+      ]
+  in
+  let nx, ny, nz = dims in
+  let args arrays = Util.std_args (nx, ny, nz) arrays 0.5 in
+  let prog =
+    program_of ~arrays:[ "A"; "V"; "W" ] ~src
+      [ ("produce", args [ "A"; "A"; "V" ]); ("consume", args [ "V"; "V"; "W" ]) ]
+  in
+  let launches =
+    List.filter_map (function Launch l -> Some l | _ -> None) prog.p_schedule
+  in
+  let reversed = [ List.rev launches ] in
+  let res =
+    Kft_codegen.Codegen.transform Util.device prog ~groups:reversed
+  in
+  let fused =
+    List.exists
+      (fun (r : Kft_codegen.Codegen.kernel_report) -> r.fusion_kind <> `None)
+      res.reports
+  in
+  Alcotest.(check bool) "the reversed group does fuse" true fused;
+  let r = V.validate ~source:prog res in
+  Alcotest.(check bool) "order violation reported" true (has_pass V.Translation r);
+  let d = diag_of V.Translation r in
+  Alcotest.(check bool) "diagnostic names the fused kernel" true
+    (String.length d.d_kernel > 0 && d.d_kernel <> "produce" && d.d_kernel <> "consume")
+
+let test_clean_program_is_clean () =
+  let prog = Util.producer_consumer_program () in
+  let r = V.verify_program prog in
+  Alcotest.(check bool) "clean" true (V.is_clean r);
+  Alcotest.(check bool) "complete" true r.complete;
+  Alcotest.(check bool) "walked threads" true (r.stats.threads_walked > 0)
+
+(* ------------------------------------------------------------------ *)
+(* six applications: sources verify clean; pipeline output validates   *)
+(* ------------------------------------------------------------------ *)
+
+let test_apps_sources_clean () =
+  List.iter
+    (fun (a : Kft_apps.Apps.app) ->
+      let r = V.verify_program a.program in
+      Alcotest.(check bool) (a.app_name ^ " clean") true (V.is_clean r);
+      Alcotest.(check bool) (a.app_name ^ " complete") true r.complete)
+    (Kft_apps.Apps.all ())
+
+let small_config =
+  {
+    F.default_config with
+    verify_mode = F.Verify_fatal;
+    gga_params = { Kft_gga.Gga.default_params with population = 10; generations = 8 };
+  }
+
+let test_pipeline_validates () =
+  (* one representative app end-to-end under the fatal gate (the [verify]
+     alias covers all six) *)
+  let app = Kft_apps.Apps.mitgcm () in
+  let rep = F.transform ~config:small_config app.program in
+  Alcotest.(check bool) "verify_report clean" true (V.is_clean rep.verify_report);
+  Alcotest.(check bool) "no rejected groups" true (rep.rejected_groups = []);
+  Alcotest.(check bool) "some launches checked" true
+    (rep.verify_report.stats.launches_checked > 0)
+
+let test_budget_exhaustion () =
+  let prog = Util.producer_consumer_program () in
+  let r = V.verify_program ~budget:100 prog in
+  Alcotest.(check bool) "incomplete under a tiny budget" true (not r.complete);
+  Alcotest.(check bool) "not clean (engine note)" true (not (V.is_clean r))
+
+(* ------------------------------------------------------------------ *)
+(* round-trip: Parse (Pp.kernels k) == k                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_kernels what kernels =
+  let text = Kft_cuda.Pp.kernels kernels in
+  let parsed = Kft_cuda.Parse.kernels text in
+  Alcotest.(check int) (what ^ ": kernel count") (List.length kernels) (List.length parsed);
+  List.iter2
+    (fun (k : kernel) (k' : kernel) ->
+      if k <> k' then
+        Alcotest.failf "%s: kernel %s does not round-trip:\n%s\n  !=\n%s" what k.k_name
+          (Kft_cuda.Pp.kernel k) (Kft_cuda.Pp.kernel k'))
+    kernels parsed
+
+let test_roundtrip_apps () =
+  List.iter
+    (fun (a : Kft_apps.Apps.app) -> roundtrip_kernels a.app_name a.program.p_kernels)
+    (Kft_apps.Apps.all ())
+
+let test_roundtrip_fused () =
+  let app = Kft_apps.Apps.bcalm () in
+  let rep = F.transform ~config:small_config app.program in
+  let fused_names =
+    List.filter_map
+      (fun (r : Kft_codegen.Codegen.kernel_report) ->
+        if r.fusion_kind <> `None then Some r.new_kernel else None)
+      rep.codegen.reports
+  in
+  Alcotest.(check bool) "some kernels fused" true (fused_names <> []);
+  let fused =
+    List.filter (fun k -> List.mem k.k_name fused_names) rep.transformed.p_kernels
+  in
+  roundtrip_kernels "fused kernels" fused
+
+let suite =
+  [
+    Alcotest.test_case "shared-memory race is reported with location" `Quick test_shared_race;
+    Alcotest.test_case "divergent barrier is reported (verifier + checker)" `Quick
+      test_divergent_barrier;
+    Alcotest.test_case "out-of-bounds halo read is reported" `Quick test_oob_halo;
+    Alcotest.test_case "DDG order violation fails translation validation" `Quick
+      test_order_violation;
+    Alcotest.test_case "clean producer/consumer program verifies clean" `Quick
+      test_clean_program_is_clean;
+    Alcotest.test_case "six application sources verify clean" `Quick test_apps_sources_clean;
+    Alcotest.test_case "pipeline output validates under the fatal gate" `Quick
+      test_pipeline_validates;
+    Alcotest.test_case "event budget exhaustion is reported, not wrong" `Quick
+      test_budget_exhaustion;
+  ]
+
+let roundtrip_suite =
+  [
+    Alcotest.test_case "app kernels round-trip through Pp.kernels/Parse" `Quick
+      test_roundtrip_apps;
+    Alcotest.test_case "fused kernels round-trip through Pp.kernels/Parse" `Quick
+      test_roundtrip_fused;
+  ]
