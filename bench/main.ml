@@ -12,16 +12,34 @@
 
 module F = Kft_framework.Framework
 module Gga = Kft_gga.Gga
+module Engine = Kft_engine.Engine
 module Fusion = Kft_codegen.Fusion
 module Apps = Kft_apps.Apps
 
 let device = Apps.bench_device
 
+(* engine shared by all cached runs; width set by -j (default 4, the
+   number of GGA worker domains). Search results are bit-identical at
+   any width, so -j never changes a reported number, only wall time. *)
+let jobs = ref 4
+
+let engine =
+  let e = ref None in
+  fun () ->
+    match !e with
+    | Some engine -> engine
+    | None ->
+        let engine = Engine.create ~jobs:!jobs ~memo:true () in
+        at_exit (fun () -> Engine.shutdown engine);
+        e := Some engine;
+        engine
+
 (* GGA budget: the paper runs 500 generations x 100 individuals on 8
-   Xeon cores for ~11 minutes; we scale the budget down with the scaled
-   app sizes so the whole harness stays interactive. *)
-let gga ?(generations = 120) ?(fission = true) () =
-  { Gga.default_params with generations; population = 40; fission_enabled = fission }
+   Xeon cores for ~11 minutes; the scaled-down default keeps the whole
+   harness interactive, and the [paper] experiment restores the full
+   500 x 100 budget (tractable now that evaluation is pooled+memoized). *)
+let gga ?(generations = 120) ?(population = 40) ?(fission = true) () =
+  { Gga.default_params with generations; population; fission_enabled = fission }
 
 type mode =
   | Fusion_only
@@ -33,6 +51,9 @@ type mode =
   | Budget40 of [ `Auto | `Filtered | `None_ ]
       (** Figure 8 / convergence runs: a constrained GGA budget (40
           generations) where search-space pollution is visible *)
+  | Paper_budget
+      (** the paper's full search budget: 500 generations x 100
+          individuals (Section 6.1.2), full automation *)
 
 let mode_name = function
   | Fusion_only -> "fusion"
@@ -44,6 +65,7 @@ let mode_name = function
   | Budget40 `Auto -> "auto@40gen"
   | Budget40 `Filtered -> "manual-filter@40gen"
   | Budget40 `None_ -> "no-filter@40gen"
+  | Paper_budget -> "paper@500x100"
 
 let config_of_mode mode =
   let base = { F.default_config with device } in
@@ -75,6 +97,7 @@ let config_of_mode mode =
         gga_params = gga ~generations:40 ();
         filter_mode =
           (match f with `Auto -> F.Automated | `Filtered -> F.Manual | `None_ -> F.No_filtering) }
+  | Paper_budget -> { base with gga_params = gga ~generations:500 ~population:100 () }
 
 (* ------------------------------------------------------------------ *)
 (* Cached transformation runs                                          *)
@@ -94,7 +117,7 @@ let run_app (a : Apps.app) mode =
   | None ->
       Printf.eprintf "[bench] transforming %-12s (%s)...\n%!" a.app_name (mode_name mode);
       let t0 = Unix.gettimeofday () in
-      let report = F.transform ~config:(config_of_mode mode) a.program in
+      let report = F.transform ~config:(config_of_mode mode) ~engine:(engine ()) a.program in
       let wall_s = Unix.gettimeofday () -. t0 in
       (match report.verified with
       | Ok () -> ()
@@ -245,7 +268,7 @@ let per_kernel_comparison name =
       gga_params = gga ~generations:1 ();
     }
   in
-  let auto = F.transform ~config ~hooks a.program in
+  let auto = F.transform ~config ~hooks ~engine:(engine ()) a.program in
   let time_of (r : F.report) kernel =
     List.fold_left
       (fun acc (p : Kft_sim.Profiler.kernel_profile) ->
@@ -362,7 +385,7 @@ let ablation () =
           { (config_of_mode Full_auto) with
             gga_params = { (gga ()) with fission_enabled = fission } }
         in
-        let r = F.transform ~config prog in
+        let r = F.transform ~config ~engine:(engine ()) prog in
         let wall = Unix.gettimeofday () -. t0 in
         let units =
           List.length (List.filter (fun (t : F.target_info) -> t.eligible) r.targets)
@@ -398,10 +421,107 @@ let devices () =
       let a = app name in
       let s20 = (run_app a Full_auto).report.speedup in
       let config = { (config_of_mode Full_auto) with device = Apps.bench_device_k40 } in
-      let r40 = F.transform ~config a.program in
+      let r40 = F.transform ~config ~engine:(engine ()) a.program in
       Printf.printf "%-13s %6.3f  %6.3f
 %!" name s20 r40.speedup)
     all_app_names;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* GGA search engine: wall-clock before/after (pool + memo cache)      *)
+(* ------------------------------------------------------------------ *)
+
+(* the ISSUE 2 acceptance metric: the search phase at jobs=4 with the
+   memo cache on must be >= 2x faster than the seed's sequential,
+   uncached evaluation -- with bit-identical results *)
+let search () =
+  print_endline "== GGA search engine: pool + fitness memo vs seed sequential ==";
+  print_endline
+    "application   engine          evals  computed  memo-hit%  search(s)  speedup  identical";
+  List.iter
+    (fun name ->
+      let a = app name in
+      let config = config_of_mode Full_auto in
+      let stats_of ~jobs ~memo =
+        Engine.with_engine ~jobs ~memo (fun engine ->
+            let r = F.transform ~config ~engine a.program in
+            match r.gga with
+            | Some g -> (g.engine_stats, g.best, g.history)
+            | None -> failwith (name ^ ": no GGA search ran"))
+      in
+      let seq, seq_best, seq_hist = stats_of ~jobs:1 ~memo:false in
+      let rows =
+        [
+          ("sequential", seq, true);
+          (let es, b, h = stats_of ~jobs:1 ~memo:true in
+           ("memo", es, b = seq_best && h = seq_hist));
+          (let es, b, h = stats_of ~jobs:4 ~memo:true in
+           ("jobs=4+memo", es, b = seq_best && h = seq_hist));
+        ]
+      in
+      List.iter
+        (fun (label, (es : Gga.engine_stats), identical) ->
+          Printf.printf "%-13s %-14s %6d %9d %10.1f %10.3f %8.2f  %s\n" name label
+            es.es_requested es.es_computed (100.0 *. es.es_hit_rate) es.es_search_wall_s
+            (seq.es_search_wall_s /. Float.max 1e-9 es.es_search_wall_s)
+            (if identical then "yes" else "NO"))
+        rows)
+    [ "SCALE-LES"; "AWP-ODC-GPU" ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Paper-scale search budget (500 generations x 100 individuals)       *)
+(* ------------------------------------------------------------------ *)
+
+let paper () =
+  print_endline "== paper-scale GGA budget: 500 generations x 100 individuals ==";
+  print_endline "application   speedup  evals   computed  memo-hit%  search(s)  total(s)";
+  List.iter
+    (fun name ->
+      let a = app name in
+      let { report = r; wall_s } = run_app a Paper_budget in
+      match r.gga with
+      | None -> Printf.printf "%-13s (no search: fewer than two targets)\n" name
+      | Some g ->
+          let es = g.engine_stats in
+          Printf.printf "%-13s %7.3f %6d %9d %10.1f %10.1f %9.1f\n" name r.speedup
+            es.es_requested es.es_computed (100.0 *. es.es_hit_rate) es.es_search_wall_s wall_s)
+    all_app_names;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: one tiny transformation per bench mode (tier-1 rot check)    *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  print_endline "== smoke: one tiny experiment per mode ==";
+  let a = app "MITgcm" in
+  List.iter
+    (fun mode ->
+      let base = config_of_mode mode in
+      let config =
+        { base with gga_params = { base.gga_params with generations = 5; population = 10 } }
+      in
+      let r = F.transform ~config ~engine:(engine ()) a.program in
+      (match r.verified with
+      | Ok () -> ()
+      | Error diffs ->
+          Printf.eprintf "[bench] smoke %s/%s: verification failed on %d arrays\n%!" a.app_name
+            (mode_name mode) (List.length diffs);
+          exit 1);
+      Printf.printf "  %-22s %-12s speedup %5.3f  verified ok\n%!" (mode_name mode) a.app_name
+        r.speedup)
+    [
+      Fusion_only;
+      Fission_fusion;
+      Full_auto;
+      Manual;
+      Guided;
+      Guided_filtered;
+      Budget40 `Auto;
+      Budget40 `Filtered;
+      Budget40 `None_;
+    ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -479,21 +599,38 @@ let experiments =
     ("convergence", convergence);
     ("ablation", ablation);
     ("devices", devices);
+    ("search", search);
+    ("smoke", smoke);
     ("micro", micro);
   ]
 
+(* opt-in only (long-running): never part of the default "run everything" *)
+let extra_experiments = [ ("paper", paper) ]
+
 let () =
+  (* bench/main.exe [-j N] [experiment ...] *)
+  let rec parse args =
+    match args with
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Printf.eprintf "bench: -j expects a positive integer, got %S\n" n;
+            exit 1);
+        parse rest
+    | names -> names
+  in
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
+      match List.assoc_opt name (experiments @ extra_experiments) with
       | Some f -> f ()
       | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst experiments));
+            (String.concat ", " (List.map fst (experiments @ extra_experiments)));
           exit 1)
     selected

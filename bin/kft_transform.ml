@@ -17,8 +17,8 @@ let list_apps () =
         a.description)
     (Kft_apps.Apps.all ())
 
-let run app_name device_name generations population no_fission no_tuning expert_codegen filter
-    verify seed out_dir emit_cuda quiet list =
+let run app_name device_name generations population jobs no_memo no_fission no_tuning
+    expert_codegen filter verify seed out_dir emit_cuda quiet list =
   if list then begin
     list_apps ();
     `Ok ()
@@ -69,7 +69,10 @@ let run app_name device_name generations population no_fission no_tuning expert_
                   };
               }
             in
-            let report = Kft_framework.Framework.transform ~config app.program in
+            let report =
+              Kft_engine.Engine.with_engine ~jobs ~memo:(not no_memo) (fun engine ->
+                  Kft_framework.Framework.transform ~config ~engine app.program)
+            in
             if not quiet then print_string (Kft_framework.Framework.stage_report report);
             (match out_dir with
             | Some dir ->
@@ -127,6 +130,12 @@ let cmd =
   let population =
     Arg.(value & opt int 40 & info [ "population" ] ~doc:"GGA population size (paper default: 100).")
   in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for the GGA search. The search result is bit-identical at any worker count (the paper uses 8 Xeon cores).")
+  in
+  let no_memo =
+    Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable the genome-keyed fitness memo cache (ablation; results are unchanged, only slower).")
+  in
   let no_fission = Arg.(value & flag & info [ "no-fission" ] ~doc:"Disable lazy kernel fission.") in
   let no_tuning =
     Arg.(value & flag & info [ "no-tuning" ] ~doc:"Disable thread-block-size tuning.")
@@ -152,8 +161,8 @@ let cmd =
   let term =
     Term.ret
       Term.(
-        const run $ app_arg $ device $ generations $ population $ no_fission $ no_tuning
-        $ expert $ filter $ verify $ seed $ out_dir $ emit_cuda $ quiet $ list)
+        const run $ app_arg $ device $ generations $ population $ jobs $ no_memo $ no_fission
+        $ no_tuning $ expert $ filter $ verify $ seed $ out_dir $ emit_cuda $ quiet $ list)
   in
   Cmd.v
     (Cmd.info "kft-transform" ~version:"1.0.0"

@@ -1,0 +1,176 @@
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-size domain pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type task = Task of (unit -> unit) | Quit
+
+  type t = {
+    jobs : int;  (** requested evaluation width *)
+    workers : int;  (** domains actually spawned: capped at the core count *)
+    mutable domains : unit Domain.t list;
+    queue : task Queue.t;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable shut : bool;
+  }
+
+  let jobs t = t.jobs
+
+  let rec worker pool =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.queue && not pool.shut do
+      Condition.wait pool.nonempty pool.m
+    done;
+    let task = if Queue.is_empty pool.queue then Quit else Queue.pop pool.queue in
+    Mutex.unlock pool.m;
+    match task with
+    | Quit -> ()
+    | Task f ->
+        f ();
+        worker pool
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    (* never oversubscribe: on a machine with fewer cores than [jobs],
+       extra domains only add stop-the-world GC coordination without any
+       extra throughput.  The determinism contract (results reduced in
+       submission index order) makes the cap observationally invisible. *)
+    let workers = min jobs (Domain.recommended_domain_count ()) in
+    let pool =
+      {
+        jobs;
+        workers;
+        domains = [];
+        queue = Queue.create ();
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        shut = false;
+      }
+    in
+    if jobs > 1 then
+      pool.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker pool));
+    pool
+
+  let shutdown pool =
+    let join_these =
+      Mutex.protect pool.m (fun () ->
+          if pool.shut then []
+          else begin
+            pool.shut <- true;
+            Condition.broadcast pool.nonempty;
+            let ds = pool.domains in
+            pool.domains <- [];
+            ds
+          end)
+    in
+    List.iter Domain.join join_these
+
+  let map pool f items =
+    if Mutex.protect pool.m (fun () -> pool.shut) then
+      invalid_arg "Engine.Pool.map: pool is shut down";
+    match items with
+    | [] -> []
+    | items when pool.jobs <= 1 -> List.map f items
+    | items ->
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        let results = Array.make n None in
+        let done_m = Mutex.create () in
+        let done_c = Condition.create () in
+        (* submit contiguous chunks rather than one task per item: the
+           queue/condvar handshake costs the same per task regardless of
+           task size, so chunking keeps the coordination overhead
+           proportional to [jobs], not to [n].  A few chunks per worker
+           smooths uneven per-item work. *)
+        let chunks = min n (pool.workers * 4) in
+        let chunk_size = (n + chunks - 1) / chunks in
+        let remaining = ref ((n + chunk_size - 1) / chunk_size) in
+        let n_chunks = !remaining in
+        let task lo hi () =
+          for i = lo to hi do
+            results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e)
+          done;
+          Mutex.protect done_m (fun () ->
+              decr remaining;
+              if !remaining = 0 then Condition.signal done_c)
+        in
+        Mutex.protect pool.m (fun () ->
+            for c = 0 to n_chunks - 1 do
+              let lo = c * chunk_size in
+              let hi = min (n - 1) (lo + chunk_size - 1) in
+              Queue.add (Task (task lo hi)) pool.queue
+            done;
+            Condition.broadcast pool.nonempty);
+        Mutex.lock done_m;
+        while !remaining > 0 do
+          Condition.wait done_c done_m
+        done;
+        Mutex.unlock done_m;
+        (* reduce in submission index order; re-raise the lowest-index
+           failure only after every task has finished, so the pool (and
+           the results of unaffected tasks) stay consistent *)
+        Array.to_list results
+        |> List.map (function
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None -> assert false)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Memo cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type 'a t = {
+    tbl : (string, 'a) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  type stats = { hits : int; misses : int; size : int }
+
+  let create () = { tbl = Hashtbl.create 256; hits = 0; misses = 0 }
+
+  let peek c key = Hashtbl.find_opt c.tbl key
+
+  let find c key =
+    match Hashtbl.find_opt c.tbl key with
+    | Some _ as r ->
+        c.hits <- c.hits + 1;
+        r
+    | None ->
+        c.misses <- c.misses + 1;
+        None
+
+  let add c key v = if not (Hashtbl.mem c.tbl key) then Hashtbl.replace c.tbl key v
+
+  let stats (c : 'a t) : stats = { hits = c.hits; misses = c.misses; size = Hashtbl.length c.tbl }
+
+  let clear c =
+    Hashtbl.reset c.tbl;
+    c.hits <- 0;
+    c.misses <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = { pool : Pool.t; memo : bool }
+
+let create ?(jobs = 1) ?(memo = true) () = { pool = Pool.create ~jobs; memo }
+
+let jobs t = Pool.jobs t.pool
+
+let memo_enabled t = t.memo
+
+let map t f items = Pool.map t.pool f items
+
+let shutdown t = Pool.shutdown t.pool
+
+let with_engine ?jobs ?memo f =
+  let e = create ?jobs ?memo () in
+  Fun.protect ~finally:(fun () -> shutdown e) (fun () -> f e)

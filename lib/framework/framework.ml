@@ -134,7 +134,7 @@ let identify_targets config meta prog (graphs : Ddg.t) =
 (* Pipeline                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let transform ?(config = default_config) ?(hooks = no_hooks) prog =
+let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
   (* stage 0: frontend validation -- a malformed program would otherwise
      surface as a confusing simulator fault deep in stage 1 *)
   (match Kft_cuda.Check.program prog with
@@ -236,13 +236,22 @@ let transform ?(config = default_config) ?(hooks = no_hooks) prog =
           (Option.value ~default:max_int (Hashtbl.find_opt unit_pos b)))
       names
   in
+  (* the plan cache is read and written from the engine's worker domains
+     during the GGA search (via [feasible] / [shared_ok]); guard it with a
+     mutex. The plan computation itself runs outside the critical section:
+     two domains may compute the same key concurrently, but the result is
+     a pure function of the key so the duplicate insert is benign (and
+     [member_cache] / [unit_pos] are read-only by then). *)
   let group_plan_cache : (string, (Fusion.plan, string) Stdlib.result) Hashtbl.t =
     Hashtbl.create 256
   in
+  let group_plan_mutex = Mutex.create () in
   let group_plan names =
     let names = schedule_sort names in
     let key = String.concat "|" names in
-    match Hashtbl.find_opt group_plan_cache key with
+    match
+      Mutex.protect group_plan_mutex (fun () -> Hashtbl.find_opt group_plan_cache key)
+    with
     | Some r -> r
     | None ->
         let r =
@@ -264,7 +273,8 @@ let transform ?(config = default_config) ?(hooks = no_hooks) prog =
               let ms = List.rev ms in
               Fusion.check_group (List.mapi (fun i (m : Canonical.member) -> { m with m_index = i }) ms)
         in
-        Hashtbl.replace group_plan_cache key r;
+        Mutex.protect group_plan_mutex (fun () ->
+            if not (Hashtbl.mem group_plan_cache key) then Hashtbl.replace group_plan_cache key r);
         r
   in
   (* stage 4: GGA *)
@@ -371,7 +381,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) prog =
     }
   in
   let gga_result =
-    if List.length units >= 2 then Some (Gga.run config.gga_params problem) else None
+    if List.length units >= 2 then Some (Gga.run ?engine config.gga_params problem) else None
   in
   let solution_groups =
     match gga_result with
@@ -534,7 +544,13 @@ let stage_report r =
       p "  best objective %.3f GFLOPS (raw %.3f), %d violations" g.best.fitness
         g.best.raw_objective g.best.violations;
       p "  fission events: %d (%.3f per generation), converged at generation %d"
-        g.fission_events g.avg_fissions_per_generation g.converged_at);
+        g.fission_events g.avg_fissions_per_generation g.converged_at;
+      let es = g.engine_stats in
+      p "  engine: jobs=%d memo=%s; %d evaluations (%d computed, %.1f%% memo hits); %.3f s (%.2f ms/generation)"
+        es.es_jobs
+        (if es.es_memo then "on" else "off")
+        es.es_requested es.es_computed (100.0 *. es.es_hit_rate) es.es_search_wall_s
+        (1000.0 *. es.es_gen_wall_s));
   p "  groups: %s"
     (String.concat " | " (List.map (fun g -> String.concat "+" g) r.solution_groups));
   (if r.fissioned <> [] then p "  fissioned kernels: %s" (String.concat ", " r.fissioned));

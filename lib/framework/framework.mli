@@ -81,10 +81,20 @@ type report = {
   new_graphs : Kft_ddg.Ddg.t;  (** DDG/OEG of the transformed program *)
 }
 
-val transform : ?config:config -> ?hooks:hooks -> Kft_cuda.Ast.program -> report
+val transform :
+  ?config:config -> ?hooks:hooks -> ?engine:Kft_engine.Engine.t ->
+  Kft_cuda.Ast.program -> report
 (** Run the full pipeline. The transformed program's output is verified
     against the original on the simulator (the paper verified every
-    run); [speedup] is original/transformed modeled time. *)
+    run); [speedup] is original/transformed modeled time.
+
+    [engine] controls the GGA search phase only (stage 4): its domain
+    pool evaluates each generation in parallel and its memoization policy
+    decides whether identical genomes are re-scored (see
+    {!Kft_engine.Engine} and [Gga.run ?engine]). The search result —
+    and therefore the whole transformation — is bit-identical at any
+    worker count. Defaults to sequential evaluation with the memo cache
+    enabled. A caller-supplied engine is not shut down. *)
 
 val classify_invocation :
   filter_mode -> Kft_metadata.Metadata.t -> Kft_cuda.Ast.program ->

@@ -89,6 +89,16 @@ type solution = {
   violations : int;
 }
 
+type engine_stats = {
+  es_jobs : int;
+  es_memo : bool;
+  es_requested : int;
+  es_computed : int;
+  es_hit_rate : float;
+  es_search_wall_s : float;
+  es_gen_wall_s : float;
+}
+
 type result = {
   best : solution;
   history : (int * float) list;
@@ -96,10 +106,64 @@ type result = {
   avg_fissions_per_generation : float;
   converged_at : int;
   evaluations : int;
+  engine_stats : engine_stats;
 }
+
+module Engine = Kft_engine.Engine
 
 (* genotype: groups of unit names + set of fissioned kernels *)
 type genome = { g_groups : string list list; g_fissioned : string list }
+
+(* canonical form: members sorted within groups, groups sorted, fissioned
+   set sorted and deduplicated. Evaluation happens on the canonical form
+   only, which makes the fitness a pure function of the canonical key --
+   the property the memo cache and the parallel map both rely on (cache
+   on/off and any worker count produce bit-identical results). *)
+let normalize genome =
+  {
+    g_groups = List.map (List.sort compare) genome.g_groups |> List.sort compare;
+    g_fissioned = List.sort_uniq compare genome.g_fissioned;
+  }
+
+(* memo key of a canonical genome *)
+let cache_key genome =
+  String.concat ";" (List.map (String.concat ",") genome.g_groups)
+  ^ "#"
+  ^ String.concat "," genome.g_fissioned
+
+(* structural repair: make [genome] a valid partition of its *effective*
+   unit set -- every original unit, with each fissioned original replaced
+   by its pre-profiled parts. Crossover of parents whose fission states
+   differ can otherwise leave an original and its parts alive at once, or
+   drop units entirely. Keeps the first occurrence of each unit (group
+   and member order preserved), expands stale originals in place, drops
+   unknown names, and appends still-missing units as singletons. *)
+let repair_partition ~units ~parts genome =
+  let fissioned =
+    List.sort_uniq compare (List.filter (fun u -> List.mem_assoc u parts) genome.g_fissioned)
+  in
+  let expansion u = if List.mem u fissioned then List.assoc u parts else [ u ] in
+  let expected = List.concat_map expansion units in
+  let in_expected = Hashtbl.create 32 in
+  List.iter (fun u -> Hashtbl.replace in_expected u ()) expected;
+  let placed = Hashtbl.create 32 in
+  let keep u =
+    if Hashtbl.mem in_expected u && not (Hashtbl.mem placed u) then begin
+      Hashtbl.replace placed u ();
+      true
+    end
+    else false
+  in
+  let groups =
+    List.filter_map
+      (fun g ->
+        match List.filter keep (List.concat_map expansion g) with
+        | [] -> None
+        | g' -> Some g')
+      genome.g_groups
+  in
+  let missing = List.filter (fun u -> not (Hashtbl.mem placed u)) expected in
+  { g_groups = groups @ List.map (fun u -> [ u ]) missing; g_fissioned = fissioned }
 
 let model_table problem =
   let tbl = Hashtbl.create 64 in
@@ -116,7 +180,8 @@ let model_table problem =
 
 let arrays_of_model (m : Kft_perfmodel.Perfmodel.unit_model) = List.map (fun a -> a.Kft_perfmodel.Perfmodel.host) m.arrays
 
-let evaluate params problem tbl fission_counter genome =
+let evaluate params problem tbl genome =
+  let fission_counter = ref 0 in
   let model name =
     match Hashtbl.find_opt tbl name with
     | Some m -> m
@@ -226,7 +291,8 @@ let evaluate params problem tbl fission_counter genome =
     -. (float_of_int stuck_groups *. (params.c_sm_stuck +. (0.15 *. scale)))
   in
   ( { groups; fissioned = List.sort_uniq compare !fissioned; fitness; raw_objective = raw; violations = !violations },
-    { g_groups = groups; g_fissioned = List.sort_uniq compare !fissioned } )
+    { g_groups = groups; g_fissioned = List.sort_uniq compare !fissioned },
+    !fission_counter )
 
 (* ------------------------------------------------------------------ *)
 (* Operators                                                           *)
@@ -337,22 +403,83 @@ let mutate rng tbl genome =
 (* Main loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(on_generation = fun _ _ -> ()) params problem =
+let run ?(on_generation = fun _ _ -> ()) ?engine params problem =
+  (* when the caller supplies no engine, run sequentially with the memo
+     cache on; the caller's engine is never shut down here *)
+  let owned = match engine with None -> Some (Engine.create ~jobs:1 ()) | Some _ -> None in
+  let engine = match engine with Some e -> e | None -> Option.get owned in
+  Fun.protect ~finally:(fun () -> Option.iter Engine.shutdown owned) @@ fun () ->
+  let t_search = Engine.now () in
   let rng = Random.State.make [| params.seed |] in
   let tbl = model_table problem in
   let unit_names = List.map (fun (m : Kft_perfmodel.Perfmodel.unit_model) -> m.unit_name) problem.units in
+  let parts =
+    List.map
+      (fun (orig, ms) ->
+        (orig, List.map (fun (m : Kft_perfmodel.Perfmodel.unit_model) -> m.unit_name) ms))
+      problem.fission_parts
+  in
+  let memo = Engine.memo_enabled engine in
+  let cache : (solution * genome * int) Engine.Cache.t = Engine.Cache.create () in
   let fission_counter = ref 0 in
-  let evaluations = ref 0 in
-  let eval genome =
-    incr evaluations;
-    evaluate params problem tbl fission_counter genome
+  let requested = ref 0 in
+  let computed = ref 0 in
+  (* batched evaluation through the pool: genomes are repaired and
+     canonicalized in the coordinator, de-duplicated against the memo
+     cache, evaluated in parallel, and reduced in submission order. The
+     per-genome fission count is replayed on memo hits so [fission_events]
+     is independent of cache and worker-count settings. *)
+  let eval_batch genomes =
+    let keyed =
+      List.map
+        (fun g ->
+          let g = normalize (repair_partition ~units:unit_names ~parts g) in
+          (cache_key g, g))
+        genomes
+    in
+    requested := !requested + List.length keyed;
+    let to_compute =
+      if not memo then keyed
+      else begin
+        let pending = Hashtbl.create 16 in
+        List.filter
+          (fun (k, _) ->
+            Engine.Cache.find cache k = None
+            && (not (Hashtbl.mem pending k))
+            &&
+            (Hashtbl.replace pending k ();
+             true))
+          keyed
+      end
+    in
+    let results =
+      Engine.map engine (fun (k, g) -> (k, evaluate params problem tbl g)) to_compute
+    in
+    computed := !computed + List.length results;
+    if memo then begin
+      List.iter (fun (k, r) -> Engine.Cache.add cache k r) results;
+      List.map
+        (fun (k, _) ->
+          match Engine.Cache.peek cache k with
+          | Some (s, g, fissions) ->
+              fission_counter := !fission_counter + fissions;
+              (s, g)
+          | None -> assert false)
+        keyed
+    end
+    else
+      List.map
+        (fun (_, (s, g, fissions)) ->
+          fission_counter := !fission_counter + fissions;
+          (s, g))
+        results
   in
   let initial =
     List.init params.population (fun i ->
         if i = 0 then { g_groups = List.map (fun u -> [ u ]) unit_names; g_fissioned = [] }
         else { g_groups = random_partition rng unit_names; g_fissioned = [] })
   in
-  let scored = ref (List.map eval initial) in
+  let scored = ref (eval_batch initial) in
   let best = ref (fst (List.hd !scored)) in
   List.iter (fun (s, _) -> if s.fitness > !best.fitness then best := s) !scored;
   let history = ref [ (0, !best.fitness) ] in
@@ -373,8 +500,10 @@ let run ?(on_generation = fun _ _ -> ()) params problem =
     let elite =
       Array.to_list (Array.sub pop 0 (min params.elitism (Array.length pop)))
     in
-    let children = ref [] in
-    while List.length !children < params.population - List.length elite do
+    (* the whole generation is bred in the coordinator domain (all RNG
+       draws happen here, in a fixed order), then scored as one batch *)
+    let offspring = ref [] in
+    for _ = 1 to params.population - List.length elite do
       let _, ga = tournament pop in
       let child =
         if Random.State.float rng 1.0 < params.crossover_rate then begin
@@ -386,9 +515,10 @@ let run ?(on_generation = fun _ _ -> ()) params problem =
       let child =
         if Random.State.float rng 1.0 < params.mutation_rate then mutate rng tbl child else child
       in
-      children := eval child :: !children
+      offspring := child :: !offspring
     done;
-    scored := elite @ !children;
+    let children = eval_batch (List.rev !offspring) in
+    scored := elite @ children;
     List.iter
       (fun (s, _) ->
         if s.fitness > !best.fitness then begin
@@ -404,6 +534,7 @@ let run ?(on_generation = fun _ _ -> ()) params problem =
     List.fold_left (fun acc (gen, f) -> if f >= thr then min acc gen else acc) params.generations
       !history
   in
+  let search_wall_s = Engine.now () -. t_search in
   {
     best = !best;
     history = List.rev !history;
@@ -411,5 +542,34 @@ let run ?(on_generation = fun _ _ -> ()) params problem =
     avg_fissions_per_generation =
       float_of_int !fission_counter /. float_of_int (max 1 params.generations);
     converged_at;
-    evaluations = !evaluations;
+    evaluations = !requested;
+    engine_stats =
+      {
+        es_jobs = Engine.jobs engine;
+        es_memo = memo;
+        es_requested = !requested;
+        es_computed = !computed;
+        es_hit_rate =
+          (if !requested = 0 then 0.0
+           else 1.0 -. (float_of_int !computed /. float_of_int !requested));
+        es_search_wall_s = search_wall_s;
+        es_gen_wall_s = search_wall_s /. float_of_int (max 1 params.generations);
+      };
   }
+
+(* ------------------------------------------------------------------ *)
+(* Internals exposed for property testing                              *)
+(* ------------------------------------------------------------------ *)
+
+module Internal = struct
+  type nonrec genome = genome = { g_groups : string list list; g_fissioned : string list }
+
+  let model_table = model_table
+  let normalize = normalize
+  let cache_key = cache_key
+  let repair_partition = repair_partition
+  let random_partition = random_partition
+  let crossover = crossover
+  let mutate = mutate
+  let evaluate = evaluate
+end

@@ -64,14 +64,88 @@ type solution = {
   violations : int;
 }
 
+type engine_stats = {
+  es_jobs : int;  (** evaluation width of the engine the search ran on *)
+  es_memo : bool;  (** was the fitness memo cache enabled? *)
+  es_requested : int;  (** fitness evaluations requested (= [evaluations]) *)
+  es_computed : int;  (** distinct evaluations actually computed *)
+  es_hit_rate : float;  (** [1 - computed/requested]: fraction served by the memo *)
+  es_search_wall_s : float;  (** wall-clock seconds of the whole search *)
+  es_gen_wall_s : float;  (** average wall-clock seconds per generation *)
+}
+(** Throughput statistics of one search. The wall-clock fields are the
+    only non-deterministic part of a {!result}; everything else is
+    bit-identical for a fixed [params.seed] at any worker count, with the
+    memo cache on or off. *)
+
 type result = {
   best : solution;
   history : (int * float) list;  (** (generation, best fitness) when improved *)
   fission_events : int;
   avg_fissions_per_generation : float;
   converged_at : int;  (** first generation within 0.1 % of the final best *)
-  evaluations : int;
+  evaluations : int;  (** fitness evaluations requested (memo hits included) *)
+  engine_stats : engine_stats;
 }
 
-val run : ?on_generation:(int -> solution -> unit) -> params -> problem -> result
-(** Deterministic for a fixed [params.seed]. *)
+val run :
+  ?on_generation:(int -> solution -> unit) ->
+  ?engine:Kft_engine.Engine.t ->
+  params -> problem -> result
+(** Deterministic for a fixed [params.seed]: each generation is bred
+    entirely in the calling (coordinator) domain — every RNG draw happens
+    there, in a fixed order — and scored as one batch through the
+    engine's pool, whose results are reduced in submission order. Genomes
+    are canonicalized (sorted groups + fissioned set) before evaluation,
+    making fitness a pure function of the canonical key, so the memo
+    cache is transparent: [best]/[history]/[evaluations]/[fission_events]
+    are bit-identical across [jobs] ∈ {1, 2, 4, ...} and cache on/off.
+
+    [engine] defaults to a private sequential engine with the memo cache
+    enabled. A caller-supplied engine is not shut down by this function
+    and may be reused across searches (the memo cache itself is
+    per-search: keys are only unique within one problem). Requires the
+    [problem] callbacks to be thread-safe when [jobs > 1]. *)
+
+(** Search internals exposed for the property-test suite ([test_gga]):
+    the grouping operators, structural repair, canonicalization and raw
+    evaluation. Not part of the stable API. *)
+module Internal : sig
+  type genome = { g_groups : string list list; g_fissioned : string list }
+
+  val model_table :
+    problem -> (string, Kft_perfmodel.Perfmodel.unit_model) Hashtbl.t
+
+  val normalize : genome -> genome
+  (** Canonical form: members sorted within groups, groups sorted,
+      fissioned set sorted + deduplicated. *)
+
+  val cache_key : genome -> string
+  (** Memo key of a canonical genome. *)
+
+  val repair_partition :
+    units:string list -> parts:(string * string list) list -> genome -> genome
+  (** Make the genome a valid partition of its effective unit set (each
+      fissioned original replaced by its parts): duplicates dropped,
+      stale originals expanded, missing units appended as singletons.
+      Idempotent. *)
+
+  val random_partition : Random.State.t -> string list -> string list list
+
+  val crossover : Random.State.t -> genome -> genome -> genome
+  (** Falkenauer-style group injection. May leave the result in need of
+      {!repair_partition} when the parents' fission states differ. *)
+
+  val mutate :
+    Random.State.t ->
+    (string, Kft_perfmodel.Perfmodel.unit_model) Hashtbl.t ->
+    genome -> genome
+
+  val evaluate :
+    params -> problem ->
+    (string, Kft_perfmodel.Perfmodel.unit_model) Hashtbl.t ->
+    genome -> solution * genome * int
+  (** [solution, repaired genome, fission events]. Pure function of the
+      (canonical) genome. The returned genome is a fixpoint: evaluating
+      it again returns it unchanged. *)
+end

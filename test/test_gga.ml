@@ -156,6 +156,243 @@ let test_history_monotone () =
   Alcotest.(check bool) "converged_at within budget" true
     (r.converged_at >= 0 && r.converged_at <= small.generations)
 
+(* ------------------------------------------------------------------ *)
+(* Property suite: the grouping operators always produce valid          *)
+(* partitions, repair is idempotent, and the search engine is           *)
+(* deterministic at any worker count with the memo cache on or off.     *)
+(* ------------------------------------------------------------------ *)
+
+module I = Gga.Internal
+module Engine = Kft_engine.Engine
+
+let unit_names n = List.init n (fun i -> Printf.sprintf "u%d" i)
+
+(* is [genome] a valid partition of [expected]? no duplicates, no drops,
+   no foreign names; fissioned parts consistent with the fissioned set *)
+let check_partition ~expected (genome : I.genome) =
+  let all = List.concat genome.g_groups in
+  List.sort compare all = List.sort compare expected
+  && List.length all = List.length (List.sort_uniq compare all)
+  && List.for_all (fun g -> g <> []) genome.g_groups
+
+(* effective unit set of a genome under a parts mapping *)
+let effective ~units ~parts (genome : I.genome) =
+  List.concat_map
+    (fun u ->
+      if List.mem u genome.g_fissioned && List.mem_assoc u parts then List.assoc u parts
+      else [ u ])
+    units
+
+(* generator: a partition of u0..u(n-1) built by bucket assignment *)
+let partition_gen n =
+  let open QCheck.Gen in
+  let* buckets = list_repeat n (int_range 0 (max 0 (n - 1))) in
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i b ->
+      let u = Printf.sprintf "u%d" i in
+      Hashtbl.replace tbl b (u :: Option.value ~default:[] (Hashtbl.find_opt tbl b)))
+    buckets;
+  return
+    {
+      I.g_groups = Hashtbl.fold (fun _ g acc -> List.rev g :: acc) tbl [] |> List.sort compare;
+      g_fissioned = [];
+    }
+
+let genome_print (g : I.genome) =
+  Printf.sprintf "groups=[%s] fissioned=[%s]"
+    (String.concat " | " (List.map (String.concat ",") g.g_groups))
+    (String.concat "," g.g_fissioned)
+
+let prop_random_partition_valid =
+  QCheck.Test.make ~name:"random_partition yields a valid partition" ~count:200
+    QCheck.(pair (int_range 1 12) int)
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let units = unit_names n in
+      let groups = I.random_partition rng units in
+      check_partition ~expected:units { I.g_groups = groups; g_fissioned = [] })
+
+let prop_crossover_valid =
+  QCheck.Test.make ~name:"crossover of two partitions is a valid partition" ~count:300
+    QCheck.(
+      make
+        ~print:(fun (a, b, _) -> genome_print a ^ " x " ^ genome_print b)
+        Gen.(
+          let* n = int_range 2 10 in
+          let* a = partition_gen n in
+          let* b = partition_gen n in
+          let* seed = int in
+          return (a, b, (n, seed))))
+    (fun (a, b, (n, seed)) ->
+      let rng = Random.State.make [| seed |] in
+      let child = I.crossover rng a b in
+      check_partition ~expected:(unit_names n) child)
+
+let prop_mutate_valid =
+  QCheck.Test.make ~name:"mutation preserves the partition" ~count:300
+    QCheck.(
+      make
+        ~print:(fun (g, _) -> genome_print g)
+        Gen.(
+          let* n = int_range 2 10 in
+          let* g = partition_gen n in
+          let* seed = int in
+          return (g, (n, seed))))
+    (fun (g, (n, seed)) ->
+      let rng = Random.State.make [| seed |] in
+      let p = pair_problem n in
+      let tbl = I.model_table p in
+      let child = I.mutate rng tbl g in
+      check_partition ~expected:(unit_names n) child)
+
+(* a parts mapping for repair tests: u0 and u3 are fissionable *)
+let repair_units = unit_names 6
+
+let repair_parts =
+  [ ("u0", [ "u0__f1"; "u0__f2" ]); ("u3", [ "u3__f1"; "u3__f2"; "u3__f3" ]) ]
+
+(* generator: a deliberately broken genome — duplicated units, dropped
+   units, foreign names, and originals/parts mixed regardless of the
+   fissioned set *)
+let broken_genome_gen =
+  let open QCheck.Gen in
+  let names =
+    repair_units @ List.concat_map snd repair_parts @ [ "junk1"; "junk2" ]
+  in
+  let* n_groups = int_range 1 6 in
+  let* groups =
+    list_repeat n_groups (list_size (int_range 1 5) (oneofl names))
+  in
+  let* fissioned = list_size (int_range 0 3) (oneofl [ "u0"; "u3"; "junk1"; "u5" ]) in
+  return { I.g_groups = groups; g_fissioned = fissioned }
+
+let prop_repair_fixes_and_idempotent =
+  QCheck.Test.make ~name:"repair_partition yields a valid partition and is idempotent"
+    ~count:500
+    (QCheck.make ~print:genome_print broken_genome_gen)
+    (fun g ->
+      let repaired = I.repair_partition ~units:repair_units ~parts:repair_parts g in
+      let expected = effective ~units:repair_units ~parts:repair_parts repaired in
+      check_partition ~expected repaired
+      && I.repair_partition ~units:repair_units ~parts:repair_parts repaired = repaired)
+
+let prop_normalize_canonical =
+  QCheck.Test.make ~name:"normalize is idempotent and order-insensitive" ~count:300
+    QCheck.(
+      make
+        ~print:(fun (g, _) -> genome_print g)
+        Gen.(
+          let* n = int_range 2 8 in
+          let* g = partition_gen n in
+          let* seed = int in
+          return (g, seed)))
+    (fun (g, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let shuffled =
+        {
+          I.g_groups =
+            (let arr = Array.of_list (List.map (fun grp -> List.rev grp) g.g_groups) in
+             for i = Array.length arr - 1 downto 1 do
+               let j = Random.State.int rng (i + 1) in
+               let tmp = arr.(i) in
+               arr.(i) <- arr.(j);
+               arr.(j) <- tmp
+             done;
+             Array.to_list arr);
+          g_fissioned = List.rev g.g_fissioned;
+        }
+      in
+      I.normalize g = I.normalize shuffled
+      && I.normalize (I.normalize g) = I.normalize g
+      && I.cache_key (I.normalize g) = I.cache_key (I.normalize shuffled))
+
+(* the lazy-fission problem from [test_lazy_fission_triggers], reused for
+   the evaluate-repair fixpoint property *)
+let fission_problem () =
+  let big = unit_model "big" [ "X"; "Y"; "Z"; "W" ] in
+  let partner = unit_model "p" [ "X" ] in
+  let parts = [ unit_model "big__f1" [ "X" ]; unit_model "big__f2" [ "Y"; "Z"; "W" ] ] in
+  {
+    Gga.units = [ big; partner ];
+    fission_parts = [ ("big", parts) ];
+    part_arrays = [ ("big__f1", [ "X" ]); ("big__f2", [ "Y"; "Z"; "W" ]) ];
+    feasible = (fun _ -> true);
+    solution_feasible = (fun ~groups:_ ~fissioned:_ -> true);
+    objective = PM.objective Util.device;
+    shared_ok =
+      (fun models ->
+        not
+          (List.exists (fun (m : PM.unit_model) -> m.unit_name = "big") models
+          && List.length models > 1));
+  }
+
+let prop_evaluate_repair_fixpoint =
+  QCheck.Test.make ~name:"evaluate's repaired genome is a fixpoint" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (which, g) -> Printf.sprintf "%s: %s" which (genome_print g))
+        Gen.(
+          let* pick = oneofl [ `Pairs; `Fission ] in
+          match pick with
+          | `Pairs ->
+              let* n = int_range 2 8 in
+              let* g = partition_gen n in
+              return ("pairs", g)
+          | `Fission ->
+              let* both = bool in
+              let groups = if both then [ [ "big"; "p" ] ] else [ [ "big" ]; [ "p" ] ] in
+              return ("fission", { I.g_groups = groups; g_fissioned = [] })))
+    (fun (which, g) ->
+      let problem = if which = "pairs" then pair_problem 8 else fission_problem () in
+      let units = List.map (fun (m : PM.unit_model) -> m.unit_name) problem.units in
+      let parts =
+        List.map
+          (fun (o, ms) -> (o, List.map (fun (m : PM.unit_model) -> m.unit_name) ms))
+          problem.fission_parts
+      in
+      let g =
+        if which = "pairs" then I.repair_partition ~units ~parts g
+        else g
+      in
+      let tbl = I.model_table problem in
+      let s1, g1, _ = I.evaluate small problem tbl g in
+      let s2, g2, _ = I.evaluate small problem tbl g1 in
+      g2 = g1 && s2.Gga.groups = s1.Gga.groups && s2.fitness = s1.fitness)
+
+(* determinism across worker counts and memo settings: the documented
+   contract of [Gga.run ?engine] *)
+let run_with ~jobs ~memo params problem =
+  Engine.with_engine ~jobs ~memo (fun engine -> Gga.run ~engine params problem)
+
+let same_result (a : Gga.result) (b : Gga.result) =
+  a.best = b.best && a.history = b.history && a.evaluations = b.evaluations
+  && a.fission_events = b.fission_events
+  && a.converged_at = b.converged_at
+
+let prop_deterministic_across_engines =
+  QCheck.Test.make ~name:"run is bit-identical across jobs {1,2,4} and memo on/off" ~count:6
+    QCheck.(pair (int_range 0 1000) (oneofl [ `Pairs; `Fission ]))
+    (fun (seed, which) ->
+      let problem = match which with `Pairs -> pair_problem 6 | `Fission -> fission_problem () in
+      let params = { small with generations = 12; population = 12; seed } in
+      let reference = run_with ~jobs:1 ~memo:false params problem in
+      List.for_all
+        (fun (jobs, memo) -> same_result reference (run_with ~jobs ~memo params problem))
+        [ (1, true); (2, true); (4, true); (4, false) ])
+
+let property_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_partition_valid;
+      prop_crossover_valid;
+      prop_mutate_valid;
+      prop_repair_fixes_and_idempotent;
+      prop_normalize_canonical;
+      prop_evaluate_repair_fixpoint;
+      prop_deterministic_across_engines;
+    ]
+
 let suite =
   [
     Alcotest.test_case "parameter file roundtrip" `Quick test_params_roundtrip;

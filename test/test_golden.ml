@@ -1,0 +1,127 @@
+(* Golden bit-exactness regression.
+
+   Pins the GGA search outcome (best fitness, fusion groups, fissioned
+   set) for the quickstart example and two of the six applications at a
+   fixed small budget. The engine determinism contract says these values
+   are a pure function of (program, params, seed) — independent of the
+   worker count and of whether the memo cache is on — so any drift here
+   means a behavioural change in the search, the performance model, or
+   the frontend, and the goldens must be re-derived consciously.
+
+   To re-derive: run the suite; the Alcotest diff prints the actual
+   rendered summary, which becomes the new golden string. *)
+
+module F = Kft_framework.Framework
+module Apps = Kft_apps.Apps
+open Kft_cuda.Ast
+
+(* Same three-kernel program as examples/quickstart.ml. *)
+let quickstart_source =
+  {|
+__global__ void diffuse(const double *U, double *V, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 1; k < nz - 1; k++) {
+      V[(k * ny + j) * nx + i] = c * (U[(k * ny + j) * nx + i + 1] + U[(k * ny + j) * nx + i - 1]
+        + U[(k * ny + (j + 1)) * nx + i] + U[(k * ny + (j - 1)) * nx + i]
+        + U[((k + 1) * ny + j) * nx + i] + U[((k - 1) * ny + j) * nx + i]
+        - 6.0 * U[(k * ny + j) * nx + i]);
+    }
+  }
+}
+__global__ void smooth(const double *V, const double *U, double *W, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 2 && i < nx - 2 && j >= 2 && j < ny - 2) {
+    for (int k = 2; k < nz - 2; k++) {
+      W[(k * ny + j) * nx + i] = 0.25 * (V[(k * ny + j) * nx + i + 1] + V[(k * ny + j) * nx + i - 1]
+        + V[(k * ny + (j + 1)) * nx + i] + V[(k * ny + (j - 1)) * nx + i])
+        + c * U[(k * ny + j) * nx + i];
+    }
+  }
+}
+__global__ void relax(const double *W, double *U2, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      U2[(k * ny + j) * nx + i] = c * W[(k * ny + j) * nx + i];
+    }
+  }
+}
+|}
+
+let quickstart_program () =
+  let nx, ny, nz = (64, 16, 12) in
+  let kernels = Kft_cuda.Parse.kernels quickstart_source in
+  let arr name = { a_name = name; a_elem_ty = Double; a_dims = [ nx; ny; nz ] } in
+  let dims_args = [ Arg_int nx; Arg_int ny; Arg_int nz; Arg_double 0.125 ] in
+  let launch kernel args =
+    Launch { l_kernel = kernel; l_domain = (nx, ny, 1); l_block = (32, 4, 1); l_args = args }
+  in
+  {
+    p_name = "quickstart";
+    p_arrays = [ arr "U"; arr "V"; arr "W"; arr "U2" ];
+    p_kernels = kernels;
+    p_schedule =
+      [
+        launch "diffuse" ([ Arg_array "U"; Arg_array "V" ] @ dims_args);
+        launch "smooth" ([ Arg_array "V"; Arg_array "U"; Arg_array "W" ] @ dims_args);
+        launch "relax" ([ Arg_array "W"; Arg_array "U2" ] @ dims_args);
+      ];
+  }
+
+(* Fixed small budget: large enough that the search does real work
+   (crossover, mutation, fission decisions), small enough for tier-1. *)
+let config =
+  {
+    F.default_config with
+    gga_params =
+      { Kft_gga.Gga.default_params with generations = 10; population = 12; seed = 20260806 };
+  }
+
+let render (report : F.report) =
+  let b = Buffer.create 256 in
+  (match report.gga with
+  | None -> Buffer.add_string b "gga=none\n"
+  | Some r ->
+      Buffer.add_string b (Printf.sprintf "fitness=%.17g\n" r.best.fitness);
+      Buffer.add_string b
+        (Printf.sprintf "violations=%d evaluations=%d\n" r.best.violations r.evaluations));
+  Buffer.add_string b
+    (Printf.sprintf "groups=%s\n"
+       (String.concat " " (List.map (String.concat "+") report.solution_groups)));
+  Buffer.add_string b
+    (Printf.sprintf "fissioned=%s\n" (String.concat "," report.fissioned));
+  Buffer.contents b
+
+let check_golden name program golden () =
+  let report = F.transform ~config program in
+  Alcotest.(check string) (name ^ " search outcome pinned") golden (render report)
+
+let quickstart_golden =
+  "fitness=11.939180487292035\n" ^ "violations=0 evaluations=112\n"
+  ^ "groups=diffuse+relax+smooth\n" ^ "fissioned=\n"
+
+let mitgcm_golden =
+  "fitness=7.0158016449894038\n" ^ "violations=0 evaluations=112\n"
+  ^ "groups=axpy_01+lap_01 axpy_02+lap_03 axpy_03 axpy_04 axpy_05 axpy_06+lap_07 axpy_07 \
+     lap_02 lap_04 lap_05 lap_06\n" ^ "fissioned=\n"
+
+let fluam_golden =
+  "fitness=5.0422491561703335\n" ^ "violations=0 evaluations=112\n"
+  ^ "groups=acc_01 acc_02 acc_03 acc_04 acc_05 acc_06 acc_07 acc_08 acc_09 acc_10 fvol_01 \
+     fvol_02+rk_08 fvol_03 fvol_04 fvol_05+fvol_06 fvol_07 fvol_08 fvol_09 fvol_10 part_01 \
+     part_02 part_03 part_04 part_05 part_06 part_07 part_08 part_09 part_10 part_11 part_12 \
+     rk_01 rk_02 rk_03 rk_04 rk_05 rk_06 rk_07 rk_09 rk_10\n" ^ "fissioned=\n"
+
+let suite =
+  [
+    Alcotest.test_case "quickstart golden" `Quick
+      (fun () -> check_golden "quickstart" (quickstart_program ()) quickstart_golden ());
+    Alcotest.test_case "MITgcm golden" `Quick
+      (fun () -> check_golden "mitgcm" (Apps.mitgcm ()).program mitgcm_golden ());
+    Alcotest.test_case "Fluam golden" `Quick
+      (fun () -> check_golden "fluam" (Apps.fluam ()).program fluam_golden ());
+  ]

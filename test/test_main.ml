@@ -11,9 +11,12 @@ let () =
       ("fission", Test_fission.suite);
       ("perfmodel", Test_perfmodel.suite @ Test_perfmodel.alt_suite);
       ("gga", Test_gga.suite);
+      ("gga-properties", Test_gga.property_suite);
+      ("engine", Test_engine.suite);
       ("codegen", Test_codegen.suite @ Test_codegen.extra_suite);
       ("framework", Test_framework.suite @ Test_framework.validation_suite);
       ("apps", Test_apps.suite);
       ("end-to-end", Test_endtoend.suite);
+      ("golden", Test_golden.suite);
       ("verify", Test_verify.suite @ Test_verify.roundtrip_suite);
     ]
