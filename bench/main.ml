@@ -490,6 +490,120 @@ let paper () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Simulator throughput (BENCH_sim.json): interpret vs compiled-affine *)
+(* vs block-parallel, with bit-identity asserted across settings       *)
+(* ------------------------------------------------------------------ *)
+
+(* one full schedule simulation on freshly seeded memory *)
+let sim_run ?engine ?(affine = true) (p : Kft_cuda.Ast.program) =
+  let mem = Kft_sim.Memory.create p.p_arrays in
+  Kft_sim.Memory.init_seeded mem ~seed:42;
+  let t0 = Unix.gettimeofday () in
+  let runs = Kft_sim.Interp.run_schedule ?engine ~affine mem p in
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, mem, List.map snd runs)
+
+(* run [sim_run] under a temporary engine when [jobs > 1] *)
+let sim_run_at ~jobs ~affine p =
+  if jobs <= 1 then sim_run ~affine p
+  else Engine.with_engine ~jobs ~memo:false (fun e -> sim_run ~engine:e ~affine p)
+
+let sim () =
+  print_endline "== simulator throughput: interpret / compiled-affine / block-parallel ==";
+  Printf.printf "   (block-parallel at jobs=%d; this host reports %d core(s))\n%!" !jobs
+    (Domain.recommended_domain_count ());
+  let repeats = 2 in
+  let time ~jobs ~affine p =
+    (* best-of-N wall time; memory and stats are identical across repeats *)
+    let best = ref infinity and result = ref None in
+    for _ = 1 to repeats do
+      let wall, mem, stats = sim_run_at ~jobs ~affine p in
+      if wall < !best then best := wall;
+      result := Some (mem, stats)
+    done;
+    let mem, stats = Option.get !result in
+    (!best, mem, stats)
+  in
+  let total_threads stats =
+    List.fold_left (fun a (s : Kft_sim.Interp.stats) -> a + s.threads_launched) 0 stats
+  in
+  let total_cells (p : Kft_cuda.Ast.program) =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Kft_cuda.Ast.Launch l ->
+            let x, y, z = l.l_domain in
+            acc + (x * y * z)
+        | _ -> acc)
+      0 p.p_schedule
+  in
+  print_endline "application   config           wall(s)  Mthreads/s  Mcells/s  speedup";
+  let json_apps = ref [] in
+  List.iter
+    (fun name ->
+      let a = app name in
+      let p = a.program in
+      let _, ref_mem, ref_stats = sim_run_at ~jobs:1 ~affine:false p in
+      let threads = float_of_int (total_threads ref_stats) in
+      let cells = float_of_int (total_cells p) in
+      let configs =
+        [ ("interpret", 1, false); ("compiled-affine", 1, true); ("block-parallel", !jobs, true) ]
+      in
+      let walls =
+        List.map
+          (fun (cname, jobs, affine) ->
+            let wall, _, _ = time ~jobs ~affine p in
+            (cname, wall))
+          configs
+      in
+      let base = List.assoc "interpret" walls in
+      List.iter
+        (fun (cname, wall) ->
+          Printf.printf "%-13s %-16s %7.3f %11.2f %9.2f %8.2fx\n%!" name cname wall
+            (threads /. wall /. 1e6) (cells /. wall /. 1e6) (base /. wall))
+        walls;
+      (* bit-identity: every (jobs, affine) setting must reproduce the
+         sequential interpreter's memory and stats exactly *)
+      List.iter
+        (fun (jobs, affine) ->
+          let _, m, s = sim_run_at ~jobs ~affine p in
+          if not (Kft_sim.Memory.equal_within ~tol:0.0 ref_mem m && ref_stats = s) then begin
+            Printf.eprintf
+              "[bench] sim: %s diverged from sequential at jobs=%d affine=%b\n%!" name jobs
+              affine;
+            exit 1
+          end)
+        [ (1, true); (2, false); (2, true); (4, false); (4, true) ];
+      let fields =
+        List.map
+          (fun (cname, wall) ->
+            Printf.sprintf
+              {|      {"name": "%s", "wall_s": %.6f, "threads_per_s": %.0f, "cells_per_s": %.0f, "speedup": %.3f}|}
+              cname wall (threads /. wall) (cells /. wall) (base /. wall))
+          walls
+      in
+      json_apps :=
+        Printf.sprintf
+          "    {\"app\": \"%s\", \"threads\": %.0f, \"cells\": %.0f, \"configs\": [\n%s\n    ]}"
+          name threads cells
+          (String.concat ",\n" fields)
+        :: !json_apps)
+    all_app_names;
+  print_endline "  bit-identity across jobs in {1,2,4} x affine in {on,off}: ok";
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"sim\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"seed\": 42,\n  \"deterministic\": true,\n  \"apps\": [\n%s\n  ]\n}\n"
+      !jobs
+      (Domain.recommended_domain_count ())
+      (String.concat ",\n" (List.rev !json_apps))
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "  wrote BENCH_sim.json";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: one tiny transformation per bench mode (tier-1 rot check)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,6 +636,19 @@ let smoke () =
       Budget40 `Filtered;
       Budget40 `None_;
     ];
+  (* block-parallel determinism guard: sequential vs jobs=2 simulation of
+     the quickstart program must agree bit-for-bit (runs under `dune
+     runtest` via the alias rule in bench/dune) *)
+  let q = Apps.quickstart () in
+  let _, m_seq, s_seq = sim_run_at ~jobs:1 ~affine:false q.program in
+  let _, m_par, s_par = sim_run_at ~jobs:2 ~affine:true q.program in
+  if not (Kft_sim.Memory.equal_within ~tol:0.0 m_seq m_par && s_seq = s_par) then begin
+    Printf.eprintf
+      "[bench] smoke: sequential and block-parallel (jobs=2) simulation diverged on quickstart\n%!";
+    exit 1
+  end;
+  Printf.printf "  %-22s %-12s bit-identical to sequential\n%!" "block-parallel@jobs=2"
+    "quickstart";
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -600,6 +727,7 @@ let experiments =
     ("ablation", ablation);
     ("devices", devices);
     ("search", search);
+    ("sim", sim);
     ("smoke", smoke);
     ("micro", micro);
   ]

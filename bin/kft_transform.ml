@@ -17,8 +17,8 @@ let list_apps () =
         a.description)
     (Kft_apps.Apps.all ())
 
-let run app_name device_name generations population jobs no_memo no_fission no_tuning
-    expert_codegen filter verify seed out_dir emit_cuda quiet list =
+let run app_name device_name generations population jobs no_memo no_sim_cache no_fission
+    no_tuning expert_codegen filter verify seed out_dir emit_cuda quiet list =
   if list then begin
     list_apps ();
     `Ok ()
@@ -58,6 +58,9 @@ let run app_name device_name generations population jobs no_memo no_fission no_t
                   | "fatal" -> Kft_framework.Framework.Verify_fatal
                   | _ -> Kft_framework.Framework.Verify_advisory);
                 codegen_options;
+                sim_cache =
+                  (if no_sim_cache then None
+                   else Kft_framework.Framework.default_config.sim_cache);
                 seed;
                 gga_params =
                   {
@@ -131,10 +134,13 @@ let cmd =
     Arg.(value & opt int 40 & info [ "population" ] ~doc:"GGA population size (paper default: 100).")
   in
   let jobs =
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for the GGA search. The search result is bit-identical at any worker count (the paper uses 8 Xeon cores).")
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains shared by the GGA search and the simulator (profiling, verification and usage pre-runs fan each launch's thread blocks over the pool). Results are bit-identical at any worker count (the paper uses 8 Xeon cores).")
   in
   let no_memo =
     Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable the genome-keyed fitness memo cache (ablation; results are unchanged, only slower).")
+  in
+  let no_sim_cache =
+    Arg.(value & flag & info [ "no-sim-cache" ] ~doc:"Disable the keyed profile cache that replays repeated simulations (ablation; results are unchanged, only slower).")
   in
   let no_fission = Arg.(value & flag & info [ "no-fission" ] ~doc:"Disable lazy kernel fission.") in
   let no_tuning =
@@ -161,8 +167,9 @@ let cmd =
   let term =
     Term.ret
       Term.(
-        const run $ app_arg $ device $ generations $ population $ jobs $ no_memo $ no_fission
-        $ no_tuning $ expert $ filter $ verify $ seed $ out_dir $ emit_cuda $ quiet $ list)
+        const run $ app_arg $ device $ generations $ population $ jobs $ no_memo
+        $ no_sim_cache $ no_fission $ no_tuning $ expert $ filter $ verify $ seed $ out_dir
+        $ emit_cuda $ quiet $ list)
   in
   Cmd.v
     (Cmd.info "kft-transform" ~version:"1.0.0"

@@ -313,6 +313,69 @@ let bcalm ?(dims = { Gen.nx = 64; ny = 16; nz = 12 }) () =
   in
   assemble "B-CALM" "3D-FDTD electromagnetics with multi-pole dispersion" builts
 
+(* ------------------------------------------------------------------ *)
+(* Quickstart                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let quickstart_source =
+  {|
+__global__ void diffuse(const double *U, double *V, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 1; k < nz - 1; k++) {
+      V[(k * ny + j) * nx + i] = c * (U[(k * ny + j) * nx + i + 1] + U[(k * ny + j) * nx + i - 1]
+        + U[(k * ny + (j + 1)) * nx + i] + U[(k * ny + (j - 1)) * nx + i]
+        + U[((k + 1) * ny + j) * nx + i] + U[((k - 1) * ny + j) * nx + i]
+        - 6.0 * U[(k * ny + j) * nx + i]);
+    }
+  }
+}
+__global__ void smooth(const double *V, const double *U, double *W, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 2 && i < nx - 2 && j >= 2 && j < ny - 2) {
+    for (int k = 2; k < nz - 2; k++) {
+      W[(k * ny + j) * nx + i] = 0.25 * (V[(k * ny + j) * nx + i + 1] + V[(k * ny + j) * nx + i - 1]
+        + V[(k * ny + (j + 1)) * nx + i] + V[(k * ny + (j - 1)) * nx + i])
+        + c * U[(k * ny + j) * nx + i];
+    }
+  }
+}
+__global__ void relax(const double *W, double *U2, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      U2[(k * ny + j) * nx + i] = c * W[(k * ny + j) * nx + i];
+    }
+  }
+}
+|}
+
+let quickstart ?(dims = { Gen.nx = 64; ny = 16; nz = 12 }) () =
+  let nx, ny, nz = (dims.Gen.nx, dims.Gen.ny, dims.Gen.nz) in
+  let kernels = Kft_cuda.Parse.kernels quickstart_source in
+  let arr name = { a_name = name; a_elem_ty = Double; a_dims = [ nx; ny; nz ] } in
+  let dims_args = [ Arg_int nx; Arg_int ny; Arg_int nz; Arg_double 0.125 ] in
+  let launch kernel args =
+    Launch { l_kernel = kernel; l_domain = (nx, ny, 1); l_block = (32, 4, 1); l_args = args }
+  in
+  let program =
+    {
+      p_name = "quickstart";
+      p_arrays = [ arr "U"; arr "V"; arr "W"; arr "U2" ];
+      p_kernels = kernels;
+      p_schedule =
+        [
+          launch "diffuse" ([ Arg_array "U"; Arg_array "V" ] @ dims_args);
+          launch "smooth" ([ Arg_array "V"; Arg_array "U"; Arg_array "W" ] @ dims_args);
+          launch "relax" ([ Arg_array "W"; Arg_array "U2" ] @ dims_args);
+        ];
+    }
+  in
+  { app_name = "quickstart"; description = "three-kernel diffuse/smooth/relax chain"; program }
+
 let all () =
   [ scale_les (); homme (); fluam (); mitgcm (); awp_odc (); bcalm () ]
 

@@ -56,6 +56,12 @@ val bcalm : ?dims:Gen.dims -> unit -> app
     per-component pipeline fusion removes the intermediate traffic the
     paper highlights. *)
 
+val quickstart : ?dims:Gen.dims -> unit -> app
+(** The three-kernel diffuse/smooth/relax chain from the quickstart
+    example, parsed from CUDA C text. Small enough for [dune runtest]
+    guards (the bench [smoke] mode uses it to cross-check sequential vs
+    block-parallel simulation); not part of {!all}. *)
+
 val all : unit -> app list
 (** The six apps at default (bench) sizes, in the paper's Table 1
     order. *)

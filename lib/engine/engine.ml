@@ -18,6 +18,7 @@ module Pool = struct
   }
 
   let jobs t = t.jobs
+  let workers t = t.workers
 
   let rec worker pool =
     Mutex.lock pool.m;
@@ -164,6 +165,7 @@ type t = { pool : Pool.t; memo : bool }
 let create ?(jobs = 1) ?(memo = true) () = { pool = Pool.create ~jobs; memo }
 
 let jobs t = Pool.jobs t.pool
+let workers t = Pool.workers t.pool
 
 let memo_enabled t = t.memo
 

@@ -37,6 +37,11 @@ module Pool : sig
 
   val jobs : t -> int
 
+  val workers : t -> int
+  (** Domains actually spawned: [min jobs (recommended_domain_count)].
+      Lets callers scale work-splitting to real parallelism instead of
+      the requested width. *)
+
   val map : t -> ('a -> 'b) -> 'a list -> 'b list
   (** Deterministic parallel map: results are reduced in submission index
       order. If one or more applications raise, every task still runs to
@@ -81,7 +86,7 @@ val create : ?jobs:int -> ?memo:bool -> unit -> t
 (** [jobs] defaults to [1] (sequential), [memo] to [true]. *)
 
 val jobs : t -> int
-
+val workers : t -> int
 val memo_enabled : t -> bool
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list

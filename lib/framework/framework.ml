@@ -22,6 +22,7 @@ type config = {
   verify_mode : verify_mode;
   seed : int;
   verify_tolerance : float;
+  sim_cache : Meta.Sim_cache.t option;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     verify_mode = Verify_advisory;
     seed = 42;
     verify_tolerance = 1e-9;
+    sim_cache = Some Kft_metadata.Metadata.Sim_cache.global;
   }
 
 type hooks = {
@@ -72,6 +74,7 @@ type report = {
   verify_report : Verify.report;
   rejected_groups : (string * string) list;
   new_graphs : Ddg.t;
+  sim_cache_stats : Kft_engine.Engine.Cache.stats option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -144,8 +147,12 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
         (Printf.sprintf "Framework.transform: program %s fails validation:\n%s" prog.p_name
            (String.concat "\n" (List.map Kft_cuda.Check.pp_error errs))));
   let device = config.device in
-  (* stage 1: metadata *)
-  let meta, baseline = Meta.gather ~seed:config.seed device prog in
+  let cache = config.sim_cache in
+  let cache_stats_before = Option.map Meta.Sim_cache.stats cache in
+  (* stage 1: metadata (simulation runs go through the profile cache, so
+     re-transforming a program — or verifying against it later — replays
+     the stored run instead of re-simulating) *)
+  let meta, baseline = Meta.gather ?cache ?engine ~seed:config.seed device prog in
   let meta = hooks.amend_metadata meta in
   (* stage 2/3: graphs + targets *)
   let graphs = Ddg.build prog in
@@ -177,7 +184,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     else Some (Fission.apply_to_program ~plans:fission_plans prog)
   in
   let meta_fissioned =
-    Option.map (fun p -> fst (Meta.gather ~seed:config.seed device p)) prog_fissioned
+    Option.map (fun p -> fst (Meta.gather ?cache ?engine ~seed:config.seed device p)) prog_fissioned
   in
   (* canonical-member cache for codegen-level feasibility *)
   let member_cache : (string, (Canonical.member, string) Stdlib.result) Hashtbl.t =
@@ -487,10 +494,24 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
   in
   let codegen, verify_report, rejected_groups = gate 4 groups codegen0 (validate codegen0) [] in
   let transformed = codegen.program in
-  let transformed_run = Kft_sim.Profiler.profile ~seed:config.seed device transformed in
+  let transformed_run = Meta.profile ?cache ?engine ~seed:config.seed device transformed in
+  (* both programs are now cached, so output verification costs two cache
+     hits rather than two fresh simulations *)
   let verified =
-    Kft_sim.Profiler.verify ~seed:config.seed ~tol:config.verify_tolerance device ~original:prog
-      ~transformed
+    Meta.verify ?cache ?engine ~seed:config.seed ~tol:config.verify_tolerance device
+      ~original:prog ~transformed
+  in
+  let sim_cache_stats =
+    match (cache, cache_stats_before) with
+    | Some c, Some s0 ->
+        let s1 = Meta.Sim_cache.stats c in
+        Some
+          {
+            s1 with
+            Kft_engine.Engine.Cache.hits = s1.hits - s0.hits;
+            misses = s1.misses - s0.misses;
+          }
+    | _ -> None
   in
   {
     baseline;
@@ -509,6 +530,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     verify_report;
     rejected_groups;
     new_graphs = Ddg.build transformed;
+    sim_cache_stats;
   }
 
 let stage_report r =
@@ -517,6 +539,11 @@ let stage_report r =
   p "== stage 1: metadata ==";
   p "kernels profiled: %d, baseline modeled time: %.1f us" (List.length r.metadata.performance)
     r.baseline.total_time_us;
+  (match r.sim_cache_stats with
+  | Some s ->
+      p "  profile cache: %d hits, %d misses this run (%d cached simulations)"
+        s.Kft_engine.Engine.Cache.hits s.misses s.size
+  | None -> ());
   p "";
   p "== stage 2: target identification ==";
   List.iter

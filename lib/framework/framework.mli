@@ -32,11 +32,16 @@ type config = {
   verify_mode : verify_mode;
   seed : int;
   verify_tolerance : float;
+  sim_cache : Kft_metadata.Metadata.Sim_cache.t option;
+      (** profile cache for every simulation the pipeline performs
+          (gathering, the fissioned-variant run, the transformed run and
+          output verification); [None] disables caching *)
 }
 
 val default_config : config
 (** K20X, the paper's GGA defaults, automated codegen, automated
-    filtering, advisory static verification. *)
+    filtering, advisory static verification, and the process-wide
+    {!Kft_metadata.Metadata.Sim_cache.global} profile cache. *)
 
 type hooks = {
   amend_metadata : Kft_metadata.Metadata.t -> Kft_metadata.Metadata.t;
@@ -79,6 +84,10 @@ type report = {
       (** (fused kernel, reason) pairs for groups the fatal gate split
           back into singletons; always [] outside {!Verify_fatal} *)
   new_graphs : Kft_ddg.Ddg.t;  (** DDG/OEG of the transformed program *)
+  sim_cache_stats : Kft_engine.Engine.Cache.stats option;
+      (** profile-cache hits/misses attributable to this transform ([size]
+          is the cache's total entry count afterwards); [None] when
+          [config.sim_cache] is [None] *)
 }
 
 val transform :
@@ -88,13 +97,18 @@ val transform :
     against the original on the simulator (the paper verified every
     run); [speedup] is original/transformed modeled time.
 
-    [engine] controls the GGA search phase only (stage 4): its domain
-    pool evaluates each generation in parallel and its memoization policy
-    decides whether identical genomes are re-scored (see
-    {!Kft_engine.Engine} and [Gga.run ?engine]). The search result —
-    and therefore the whole transformation — is bit-identical at any
-    worker count. Defaults to sequential evaluation with the memo cache
-    enabled. A caller-supplied engine is not shut down. *)
+    [engine] parallelizes two phases over its domain pool: the GGA
+    search (stage 4) evaluates each generation's population in parallel
+    with its memoization policy deciding whether identical genomes are
+    re-scored (see {!Kft_engine.Engine} and [Gga.run ?engine]), and
+    every simulation the pipeline runs — metadata gathering, the
+    fissioned-variant run, the transformed run and output verification —
+    executes its thread blocks in parallel ([Interp.launch ?engine]).
+    Both are deterministic: the search result, the profiles and the
+    simulated memory — and therefore the whole transformation — are
+    bit-identical at any worker count. Defaults to sequential evaluation
+    with the memo cache enabled. A caller-supplied engine is not shut
+    down. *)
 
 val classify_invocation :
   filter_mode -> Kft_metadata.Metadata.t -> Kft_cuda.Ast.program ->

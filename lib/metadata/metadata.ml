@@ -65,8 +65,72 @@ let touched_host_arrays prog (l : launch) =
     k.k_params
   |> dedup
 
-let gather ?(seed = 42) device prog =
-  let run = Kft_sim.Profiler.profile ~seed device prog in
+(* ------------------------------------------------------------------ *)
+(* Profile cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sim_cache = struct
+  module Cache = Kft_engine.Engine.Cache
+
+  type t = Kft_sim.Profiler.run Cache.t
+
+  let create () : t = Cache.create ()
+
+  let global : t = create ()
+
+  let stats : t -> Cache.stats = Cache.stats
+
+  let clear : t -> unit = Cache.clear
+
+  (* Structurally equal values marshal identically, so the digest of the
+     marshalled (program, seed, device) triple keys "the same simulation":
+     the program carries every kernel AST and the full launch schedule
+     (grid/block configs and argument bindings), [seed] fixes the initial
+     memory image, and the device fixes the timing model. *)
+  let key ~seed device (prog : program) =
+    Digest.to_hex (Digest.string (Marshal.to_string (prog, seed, device) []))
+end
+
+let copy_run (r : Kft_sim.Profiler.run) =
+  {
+    r with
+    Kft_sim.Profiler.profiles =
+      List.map
+        (fun (p : Kft_sim.Profiler.kernel_profile) ->
+          { p with Kft_sim.Profiler.stats = Kft_sim.Interp.copy_stats p.stats })
+        r.profiles;
+    memory = Kft_sim.Memory.copy r.memory;
+  }
+
+let profile ?cache ?engine ?(seed = 42) device prog =
+  match cache with
+  | None -> Kft_sim.Profiler.profile ?engine ~seed device prog
+  | Some c -> (
+      let key = Sim_cache.key ~seed device prog in
+      match Sim_cache.Cache.find c key with
+      | Some run -> copy_run run
+      | None ->
+          let run = Kft_sim.Profiler.profile ?engine ~seed device prog in
+          (* the cache holds a private copy: callers are free to mutate
+             the run they got back without corrupting future hits *)
+          Sim_cache.Cache.add c key (copy_run run);
+          run)
+
+let verify ?cache ?engine ?(seed = 42) ?(tol = 1e-9) device ~original ~transformed =
+  match cache with
+  | None -> Kft_sim.Profiler.verify ?engine ~seed ~tol device ~original ~transformed
+  | Some _ ->
+      let m1 = (profile ?cache ?engine ~seed device original).Kft_sim.Profiler.memory in
+      let m2 = (profile ?cache ?engine ~seed device transformed).Kft_sim.Profiler.memory in
+      let diffs =
+        List.filter
+          (fun (n, d) -> Kft_sim.Memory.mem m1 n && Kft_sim.Memory.mem m2 n && d > tol)
+          (Kft_sim.Memory.max_abs_diff m1 m2)
+      in
+      if diffs = [] then Ok () else Error diffs
+
+let gather ?cache ?engine ?(seed = 42) device prog =
+  let run = profile ?cache ?engine ~seed device prog in
   (* map: host array -> kernels touching it *)
   let array_users : (string, string list) Hashtbl.t = Hashtbl.create 32 in
   List.iter

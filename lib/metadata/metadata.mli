@@ -49,10 +49,51 @@ type t = {
   device : Kft_device.Device.t;
 }
 
+module Sim_cache : sig
+  (** Keyed profile cache: each distinct simulation — keyed by the digest
+      of the marshalled (program, seed, device) triple, which covers the
+      canonicalized kernel ASTs, the grid/block configuration of every
+      launch and the memory seed — runs at most once per cache. Hits
+      return deep copies (fresh memory and stats records), so a replayed
+      profile is bit-identical to the original run and mutation-safe. *)
+
+  type t
+
+  val create : unit -> t
+
+  val global : t
+  (** A process-wide cache, shared by default across framework stages and
+      bench modes. *)
+
+  val stats : t -> Kft_engine.Engine.Cache.stats
+  (** Hit/miss/size counters (surfaced in the framework stage report). *)
+
+  val clear : t -> unit
+end
+
+val profile :
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?seed:int ->
+  Kft_device.Device.t -> Kft_cuda.Ast.program -> Kft_sim.Profiler.run
+(** {!Kft_sim.Profiler.profile} through the cache: a hit replays the
+    stored run (deep-copied) instead of re-simulating; a miss simulates —
+    block-parallel when [engine] is given — and stores a private copy. *)
+
+val verify :
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?seed:int -> ?tol:float ->
+  Kft_device.Device.t ->
+  original:Kft_cuda.Ast.program -> transformed:Kft_cuda.Ast.program ->
+  (unit, (string * float) list) result
+(** {!Kft_sim.Profiler.verify} but sharing the cache: when both programs
+    were already profiled (e.g. during gathering and the transformed
+    run), verification costs two cache hits instead of two fresh
+    simulations. *)
+
 val gather :
-  ?seed:int -> Kft_device.Device.t -> Kft_cuda.Ast.program -> t * Kft_sim.Profiler.run
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?seed:int ->
+  Kft_device.Device.t -> Kft_cuda.Ast.program -> t * Kft_sim.Profiler.run
 (** The metadata-gathering stage: one instrumented run on the simulated
-    device plus static analysis of every kernel. *)
+    device plus static analysis of every kernel. [cache] memoizes the
+    instrumented run; [engine] runs it block-parallel. *)
 
 val find_perf : t -> string -> perf_entry
 (** Raises [Not_found]. *)

@@ -1,0 +1,222 @@
+open Kft_cuda.Ast
+
+(* Constant-folding smart constructors keep decompositions canonical, so
+   structurally identical source indexes land in the same (core, stride)
+   group no matter how they were nested. *)
+
+let add a b =
+  match (a, b) with
+  | Int_lit 0, e | e, Int_lit 0 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x + y)
+  | _ -> Binop (Add, a, b)
+
+let sub a b =
+  match (a, b) with
+  | e, Int_lit 0 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x - y)
+  | _ -> Binop (Sub, a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int_lit 0, _ | _, Int_lit 0 -> Int_lit 0
+  | Int_lit 1, e | e, Int_lit 1 -> e
+  | Int_lit x, Int_lit y -> Int_lit (x * y)
+  | _ -> Binop (Mul, a, b)
+
+let neg = function
+  | Int_lit x -> Int_lit (-x)
+  | e -> Binop (Sub, Int_lit 0, e)
+
+let occurs v e = fold_expr (fun acc x -> acc || x = Var v) false e
+
+(* [e = base + v * stride] with neither side mentioning [v]. *)
+let rec decompose v e =
+  if not (occurs v e) then Some (e, Int_lit 0)
+  else
+    match e with
+    | Var x when x = v -> Some (Int_lit 0, Int_lit 1)
+    | Binop (Add, a, b) -> (
+        match (decompose v a, decompose v b) with
+        | Some (ba, sa), Some (bb, sb) -> Some (add ba bb, add sa sb)
+        | _ -> None)
+    | Binop (Sub, a, b) -> (
+        match (decompose v a, decompose v b) with
+        | Some (ba, sa), Some (bb, sb) -> Some (sub ba bb, sub sa sb)
+        | _ -> None)
+    | Binop (Mul, a, b) ->
+        if occurs v a && occurs v b then None
+        else if occurs v a then
+          Option.map (fun (ba, sa) -> (mul ba b, mul sa b)) (decompose v a)
+        else Option.map (fun (bb, sb) -> (mul a bb, mul a sb)) (decompose v b)
+    | Unop (Neg, a) ->
+        Option.map (fun (ba, sa) -> (neg ba, neg sa)) (decompose v a)
+    | _ -> None
+
+(* Hoisting evaluates the expression earlier (at loop entry) and possibly
+   on iterations where the guarded access never runs, so it must be pure
+   and total: integer +/-/* over scalars only. *)
+let rec hoistable e =
+  match e with
+  | Int_lit _ | Var _ | Builtin _ -> true
+  | Binop ((Add | Sub | Mul), a, b) -> hoistable a && hoistable b
+  | Unop (Neg, a) -> hoistable a
+  | _ -> false
+
+(* Pull top-level additive integer constants out of [e], so the stencil
+   neighbours base+1 / base-1 share one induction variable. *)
+let rec split_const e =
+  match e with
+  | Int_lit n -> (Int_lit 0, n)
+  | Binop (Add, a, b) ->
+      let ca, na = split_const a and cb, nb = split_const b in
+      (add ca cb, na + nb)
+  | Binop (Sub, a, b) ->
+      let ca, na = split_const a and cb, nb = split_const b in
+      (sub ca cb, na - nb)
+  | _ -> (e, 0)
+
+let expr_size e = fold_expr (fun n _ -> n + 1) 0 e
+
+let expr_vars e =
+  fold_expr (fun acc x -> match x with Var v -> v :: acc | _ -> acc) [] e
+
+let assigned_vars stmts =
+  fold_stmts
+    (fun acc s ->
+      match s with
+      | Decl (_, v, _) | Assign (Lvar v, _) -> v :: acc
+      | For l -> l.index :: acc
+      | _ -> acc)
+    [] stmts
+
+(* Every single-index array access in source order: reads anywhere in an
+   expression plus write targets. Multi-dimensional (shared) indexes are
+   left alone. *)
+let collect_sites stmts =
+  let read acc e =
+    fold_expr (fun acc x -> match x with Index (_, [ i ]) -> i :: acc | _ -> acc) acc e
+  in
+  let rec go_stmts acc stmts = List.fold_left go_stmt acc stmts
+  and go_stmt acc s =
+    match s with
+    | Decl (_, _, Some e) | Assign (Lvar _, e) -> read acc e
+    | Decl (_, _, None) | Shared_decl _ | Syncthreads | Return -> acc
+    | Assign (Lindex (_, idxs), e) ->
+        let acc =
+          match idxs with
+          | [ i ] -> i :: read acc i
+          | _ -> List.fold_left read acc idxs
+        in
+        read acc e
+    | If (c, t, e) -> go_stmts (go_stmts (read acc c) t) e
+    | For l -> go_stmts (read (read acc l.lo) l.hi) l.body
+  in
+  List.rev (go_stmts [] stmts)
+
+type group = {
+  core : expr;
+  stride : expr;
+  g_var : string;  (* induction variable *)
+  mutable g_inc : expr option;  (* per-iteration increment; None = loop-invariant *)
+}
+
+let assoc_eq key l = List.find_opt (fun (k, _) -> k = key) l
+
+(* Rewrite one loop whose body has already been processed (innermost
+   first). Returns the replacement statement list: hoisted declarations,
+   the loop with substituted accesses, increments appended to the body. *)
+let transform_loop counter (l : for_loop) =
+  let banned = l.index :: assigned_vars l.body in
+  let invariant e = List.for_all (fun v -> not (List.mem v banned)) (expr_vars e) in
+  let groups = ref [] (* in first-seen order, reversed *) in
+  let subst = ref [] (* site expr -> replacement expr *) in
+  List.iter
+    (fun site ->
+      if assoc_eq site !subst = None && expr_size site >= 4 then
+        match decompose l.index site with
+        | None -> ()
+        | Some (base, stride) ->
+            if hoistable base && hoistable stride && invariant base && invariant stride
+            then begin
+              let core, offset = split_const base in
+              let g =
+                match
+                  List.find_opt (fun g -> g.core = core && g.stride = stride) !groups
+                with
+                | Some g -> g
+                | None ->
+                    let g =
+                      {
+                        core;
+                        stride;
+                        g_var = Printf.sprintf "__aff%d" !counter;
+                        g_inc = None;
+                      }
+                    in
+                    incr counter;
+                    groups := g :: !groups;
+                    g
+              in
+              let repl =
+                if offset = 0 then Var g.g_var
+                else if offset > 0 then Binop (Add, Var g.g_var, Int_lit offset)
+                else Binop (Sub, Var g.g_var, Int_lit (-offset))
+              in
+              subst := (site, repl) :: !subst
+            end)
+    (collect_sites l.body);
+  match !groups with
+  | [] -> [ For l ]
+  | _ ->
+      let groups = List.rev !groups in
+      let table = !subst in
+      let fix_idx i =
+        match assoc_eq i table with Some (_, r) -> r | None -> i
+      in
+      let fix_expr =
+        map_expr (function Index (a, [ i ]) -> Index (a, [ fix_idx i ]) | e -> e)
+      in
+      let body =
+        map_stmts
+          (function
+            | Assign (Lindex (a, [ i ]), e) -> Assign (Lindex (a, [ fix_idx i ]), e)
+            | s -> s)
+          (map_exprs_in_stmts fix_expr l.body)
+      in
+      let decls =
+        List.concat_map
+          (fun g ->
+            let init = add g.core (mul l.lo g.stride) in
+            match mul (Int_lit l.step) g.stride with
+            | Int_lit 0 -> [ Decl (Int, g.g_var, Some init) ]
+            | Int_lit k ->
+                g.g_inc <- Some (Int_lit k);
+                [ Decl (Int, g.g_var, Some init) ]
+            | inc ->
+                let sv = g.g_var ^ "_s" in
+                g.g_inc <- Some (Var sv);
+                [ Decl (Int, sv, Some inc); Decl (Int, g.g_var, Some init) ])
+          groups
+      in
+      let incs =
+        List.filter_map
+          (fun g ->
+            Option.map
+              (fun inc -> Assign (Lvar g.g_var, Binop (Add, Var g.g_var, inc)))
+              g.g_inc)
+          groups
+      in
+      decls @ [ For { l with body = body @ incs } ]
+
+let rewrite_stmts stmts =
+  let counter = ref 0 in
+  let rec go_stmts stmts = List.concat_map go_stmt stmts
+  and go_stmt s =
+    match s with
+    | If (c, t, e) -> [ If (c, go_stmts t, go_stmts e) ]
+    | For l -> transform_loop counter { l with body = go_stmts l.body }
+    | s -> [ s ]
+  in
+  go_stmts stmts
+
+let rewrite_kernel k = { k with k_body = rewrite_stmts k.k_body }

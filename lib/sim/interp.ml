@@ -1,4 +1,5 @@
 open Kft_cuda.Ast
+module Engine = Kft_engine.Engine
 
 type stats = {
   mutable global_read_bytes : int;
@@ -16,6 +17,42 @@ type stats = {
 let divergence_fraction s =
   if s.warp_cond_evals = 0 then 0.0
   else float_of_int s.divergent_warp_cond_evals /. float_of_int s.warp_cond_evals
+
+let copy_stats s = { s with global_read_bytes = s.global_read_bytes }
+
+let zero_stats ~shared_bytes_per_block ~blocks_launched =
+  {
+    global_read_bytes = 0;
+    global_write_bytes = 0;
+    flops = 0.0;
+    warp_cond_evals = 0;
+    divergent_warp_cond_evals = 0;
+    shared_hazards = 0;
+    threads_launched = 0;
+    threads_active = 0;
+    shared_bytes_per_block;
+    blocks_launched;
+  }
+
+(* Per-block counter deltas against a snapshot taken at block entry. All
+   flop addends are [float_of_int] of static counts, so every partial sum
+   is an exactly-represented integer and the subtraction is exact: the
+   per-block deltas re-summed in block order reproduce the sequential
+   accumulator bit for bit. *)
+let diff_stats cur base =
+  {
+    global_read_bytes = cur.global_read_bytes - base.global_read_bytes;
+    global_write_bytes = cur.global_write_bytes - base.global_write_bytes;
+    flops = cur.flops -. base.flops;
+    warp_cond_evals = cur.warp_cond_evals - base.warp_cond_evals;
+    divergent_warp_cond_evals =
+      cur.divergent_warp_cond_evals - base.divergent_warp_cond_evals;
+    shared_hazards = cur.shared_hazards - base.shared_hazards;
+    threads_launched = 0;
+    threads_active = cur.threads_active - base.threads_active;
+    shared_bytes_per_block = cur.shared_bytes_per_block;
+    blocks_launched = 1;
+  }
 
 exception Sim_error of { kernel : string; message : string }
 
@@ -53,6 +90,13 @@ type st = {
   mutable epoch : int;
   alive : bool array;
   stats : stats;
+  has_return : bool;  (* no [return] anywhere: threads can never die *)
+  fast : bool;
+      (* compile the optimized closure forms (fused index reads, unsafe
+         register-file accesses behind the interpreter's own bounds
+         checks, single-pass guard evaluation). [false] keeps the plain
+         reference compilation, which the bit-identity tests run the
+         optimized path against. *)
   read_flags : (string, bool ref) Hashtbl.t;
   write_flags : (string, bool ref) Hashtbl.t;
 }
@@ -132,15 +176,71 @@ let shared_addr st dims idx_fns name t =
   in
   go dims idx_fns 0
 
+(* Left-leaning [+]/[-] chains, leftmost term first. [a + b - c] yields
+   [(true, a); (true, b); (false, c)]: the sign belongs to the term, and
+   since IEEE subtraction is addition of the negated operand, folding the
+   sign into the leaf closure is bit-exact. *)
+let rec sum_terms e acc =
+  match e with
+  | Binop (Add, l, r) -> sum_terms l ((true, r) :: acc)
+  | Binop (Sub, l, r) -> sum_terms l ((false, r) :: acc)
+  | _ -> (true, e) :: acc
+
+(* compile-time integer constants: literals, bound scalar parameters and
+   non-trapping arithmetic over them (Div/Mod are left to the runtime so
+   a division by zero still raises per-thread, as the reference does) *)
+let rec static_int lookup e =
+  match e with
+  | Int_lit i -> Some i
+  | Var v -> ( match lookup v with Const_int i -> Some i | _ -> None)
+  | Binop (op, a, b) -> (
+      match (static_int lookup a, static_int lookup b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div | Mod -> None
+          | Lt -> Some (if x < y then 1 else 0)
+          | Le -> Some (if x <= y then 1 else 0)
+          | Gt -> Some (if x > y then 1 else 0)
+          | Ge -> Some (if x >= y then 1 else 0)
+          | Eq -> Some (if x = y then 1 else 0)
+          | Ne -> Some (if x <> y then 1 else 0)
+          | And -> Some (if x <> 0 && y <> 0 then 1 else 0)
+          | Or -> Some (if x <> 0 || y <> 0 then 1 else 0))
+      | _ -> None)
+  | Unop (Neg, a) -> Option.map (fun x -> -x) (static_int lookup a)
+  | Unop (Not, a) -> Option.map (fun x -> if x = 0 then 1 else 0) (static_int lookup a)
+  | _ -> None
+
+(* compile-time float constants (literals and bound scalar parameters) *)
+let const_float_of lookup e =
+  match e with
+  | Double_lit f -> Some f
+  | Int_lit i -> Some (float_of_int i)
+  | Var v -> (
+      match lookup v with
+      | Const_float f -> Some f
+      | Const_int i -> Some (float_of_int i)
+      | _ -> None)
+  | _ -> None
+
 let rec compile_int st lookup e : int -> int =
+  match (if st.fast then static_int lookup e else None) with
+  | Some c -> fun _ -> c
+  | None -> (
   match e with
   | Int_lit i -> fun _ -> i
   | Builtin b -> (
       let { txs; tys; tzs; _ } = st in
       match b with
-      | Thread_idx X -> fun t -> txs.(t)
-      | Thread_idx Y -> fun t -> tys.(t)
-      | Thread_idx Z -> fun t -> tzs.(t)
+      | Thread_idx X ->
+          if st.fast then fun t -> Array.unsafe_get txs t else fun t -> txs.(t)
+      | Thread_idx Y ->
+          if st.fast then fun t -> Array.unsafe_get tys t else fun t -> tys.(t)
+      | Thread_idx Z ->
+          if st.fast then fun t -> Array.unsafe_get tzs t else fun t -> tzs.(t)
       | Block_idx X -> fun _ -> st.bix
       | Block_idx Y -> fun _ -> st.biy
       | Block_idx Z -> fun _ -> st.biz
@@ -150,9 +250,68 @@ let rec compile_int st lookup e : int -> int =
       | Const_int i -> fun _ -> i
       | Int_slot s ->
           let arr = st.iregs.(s) in
-          fun t -> arr.(t)
+          if st.fast then fun t -> Array.unsafe_get arr t else fun t -> arr.(t)
       | Const_float _ | Float_slot _ -> err st (Printf.sprintf "variable %s used as integer but is double" v)
       | Global _ | Shared _ -> err st (Printf.sprintf "array %s used as scalar" v))
+  (* peepholes for the post-affine hot shapes: slot +/- constant in one
+     closure instead of three. Register files are indexed by the thread
+     id, which the exec loops keep inside [0, nthreads), so the checked
+     access is provably redundant. *)
+  | (Binop (Add, Var v, Int_lit c) | Binop (Add, Int_lit c, Var v))
+    when st.fast && (match lookup v with Int_slot _ -> true | _ -> false) ->
+      let arr = match lookup v with Int_slot s -> st.iregs.(s) | _ -> assert false in
+      fun t -> Array.unsafe_get arr t + c
+  | Binop (Sub, Var v, Int_lit c)
+    when st.fast && (match lookup v with Int_slot _ -> true | _ -> false) ->
+      let arr = match lookup v with Int_slot s -> st.iregs.(s) | _ -> assert false in
+      fun t -> Array.unsafe_get arr t - c
+  | (Binop (Add, a, Int_lit c) | Binop (Add, Int_lit c, a)) when st.fast ->
+      let fa = compile_int st lookup a in
+      fun t -> fa t + c
+  | Binop (Sub, a, Int_lit c) when st.fast ->
+      let fa = compile_int st lookup a in
+      fun t -> fa t - c
+  | (Binop (Mul, a, Int_lit c) | Binop (Mul, Int_lit c, a)) when st.fast ->
+      let fa = compile_int st lookup a in
+      fun t -> fa t * c
+  (* the canonical thread-id expression [blockIdx.d * blockDim.d +
+     threadIdx.d'] in one closure *)
+  | Binop (Add, Binop (Mul, Builtin (Block_idx db), Int_lit c), Builtin (Thread_idx dt))
+    when st.fast ->
+      let tarr = match dt with X -> st.txs | Y -> st.tys | Z -> st.tzs in
+      (match db with
+      | X -> fun t -> (st.bix * c) + Array.unsafe_get tarr t
+      | Y -> fun t -> (st.biy * c) + Array.unsafe_get tarr t
+      | Z -> fun t -> (st.biz * c) + Array.unsafe_get tarr t)
+  (* guard compares against compile-time constants in one closure *)
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), Var v, b)
+    when st.fast
+         && (match lookup v with Int_slot _ -> true | _ -> false)
+         && static_int lookup b <> None -> (
+      let arr = match lookup v with Int_slot s -> st.iregs.(s) | _ -> assert false in
+      let c = Option.get (static_int lookup b) in
+      match op with
+      | Lt -> fun t -> if Array.unsafe_get arr t < c then 1 else 0
+      | Le -> fun t -> if Array.unsafe_get arr t <= c then 1 else 0
+      | Gt -> fun t -> if Array.unsafe_get arr t > c then 1 else 0
+      | Ge -> fun t -> if Array.unsafe_get arr t >= c then 1 else 0
+      | Eq -> fun t -> if Array.unsafe_get arr t = c then 1 else 0
+      | Ne -> fun t -> if Array.unsafe_get arr t <> c then 1 else 0
+      | _ -> assert false)
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, Var v)
+    when st.fast
+         && (match lookup v with Int_slot _ -> true | _ -> false)
+         && static_int lookup a <> None -> (
+      let arr = match lookup v with Int_slot s -> st.iregs.(s) | _ -> assert false in
+      let c = Option.get (static_int lookup a) in
+      match op with
+      | Lt -> fun t -> if c < Array.unsafe_get arr t then 1 else 0
+      | Le -> fun t -> if c <= Array.unsafe_get arr t then 1 else 0
+      | Gt -> fun t -> if c > Array.unsafe_get arr t then 1 else 0
+      | Ge -> fun t -> if c >= Array.unsafe_get arr t then 1 else 0
+      | Eq -> fun t -> if c = Array.unsafe_get arr t then 1 else 0
+      | Ne -> fun t -> if c <> Array.unsafe_get arr t then 1 else 0
+      | _ -> assert false)
   | Binop (op, a, b) -> (
       let fa = compile_int st lookup a and fb = compile_int st lookup b in
       match op with
@@ -197,7 +356,7 @@ let rec compile_int st lookup e : int -> int =
       fun t -> if fc t <> 0 then fa t else fb t
   | Double_lit _ -> err st "double literal in integer context"
   | Index (a, _) -> err st (Printf.sprintf "array %s read in integer context" a)
-  | Call (f, _) -> err st (Printf.sprintf "call to %s in integer context" f)
+  | Call (f, _) -> err st (Printf.sprintf "call to %s in integer context" f))
 
 (* Comparison/logic over possibly-float operands, yielding int 0/1. *)
 and compile_cond st lookup e : int -> int =
@@ -227,7 +386,11 @@ and compile_cond st lookup e : int -> int =
       fun t -> if f t = 0 then 1 else 0
   | e -> compile_int st lookup e
 
-and compile_float st lookup e : int -> float =
+and compile_float ?(count = true) st lookup e : int -> float =
+  (* [count = false] elides the per-read [global_read_bytes] bump: the
+     caller has statically counted the reads in the whole expression and
+     bumps the total once per statement execution. Only valid when the
+     read count is not data-dependent (no [Ternary] on any path). *)
   match ty_of lookup e with
   | EInt ->
       let f = compile_int st lookup e in
@@ -240,14 +403,75 @@ and compile_float st lookup e : int -> float =
           | Const_float f -> fun _ -> f
           | Float_slot s ->
               let arr = st.fregs.(s) in
-              fun t -> arr.(t)
+              if st.fast then fun t -> Array.unsafe_get arr t else fun t -> arr.(t)
           | Const_int i -> fun _ -> float_of_int i
           | Int_slot s ->
               let arr = st.iregs.(s) in
-              fun t -> float_of_int arr.(t)
+              if st.fast then fun t -> float_of_int (Array.unsafe_get arr t)
+              else fun t -> float_of_int arr.(t)
           | Global _ | Shared _ -> err st (Printf.sprintf "array %s used as scalar" v))
       | Index (a, idxs) -> (
           match lookup a with
+          | Global data when st.fast -> (
+              let single =
+                match idxs with
+                | [ i ] -> i
+                | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
+              in
+              let n = Array.length data in
+              let stats = st.stats in
+              let touched = usage_flag st.read_flags a in
+              let oob i =
+                err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
+              in
+              let slot v = match lookup v with Int_slot s -> Some st.iregs.(s) | _ -> None in
+              (* fuse the post-affine index shapes (slot, slot +/- c) into
+                 the read closure: one call, one bounds check, one load *)
+              let fused =
+                match single with
+                | Var v -> Option.map (fun arr -> (arr, 0)) (slot v)
+                | Binop (Add, Var v, Int_lit c) | Binop (Add, Int_lit c, Var v) ->
+                    Option.map (fun arr -> (arr, c)) (slot v)
+                | Binop (Sub, Var v, Int_lit c) -> Option.map (fun arr -> (arr, -c)) (slot v)
+                | _ -> None
+              in
+              match fused with
+              | Some (arr, off) when count ->
+                  fun t ->
+                    let i = Array.unsafe_get arr t + off in
+                    if i < 0 || i >= n then oob i
+                    else begin
+                      stats.global_read_bytes <- stats.global_read_bytes + 8;
+                      touched := true;
+                      Array.unsafe_get data i
+                    end
+              | Some (arr, off) ->
+                  fun t ->
+                    let i = Array.unsafe_get arr t + off in
+                    if i < 0 || i >= n then oob i
+                    else begin
+                      touched := true;
+                      Array.unsafe_get data i
+                    end
+              | None ->
+                  let idx = compile_int st lookup single in
+                  if count then
+                    fun t ->
+                      let i = idx t in
+                      if i < 0 || i >= n then oob i
+                      else begin
+                        stats.global_read_bytes <- stats.global_read_bytes + 8;
+                        touched := true;
+                        Array.unsafe_get data i
+                      end
+                  else
+                    fun t ->
+                      let i = idx t in
+                      if i < 0 || i >= n then oob i
+                      else begin
+                        touched := true;
+                        Array.unsafe_get data i
+                      end)
           | Global data ->
               let idx =
                 match idxs with
@@ -276,8 +500,46 @@ and compile_float st lookup e : int -> float =
                 then stats.shared_hazards <- stats.shared_hazards + 1;
                 st.shmem.(slot).(addr)
           | _ -> err st (Printf.sprintf "%s indexed but is not an array" a))
+      | Binop ((Add | Sub), _, _)
+        when st.fast
+             && (let ts = sum_terms e [] in
+                 let k = List.length ts in
+                 (* every term float-typed: an all-int prefix would be
+                    evaluated in integer arithmetic by the nested
+                    compilation, which flattening must not change *)
+                 k >= 3 && k <= 8
+                 && List.for_all (fun (_, term) -> ty_of lookup term = EFloat) ts) -> (
+          (* flatten the chain into one closure: same left-associative
+             combination (and thus the same rounding) as the nested
+             [Binop] compilation, without the intermediate dispatches *)
+          let fns =
+            List.map
+              (fun (sign, term) ->
+                let f = compile_float ~count st lookup term in
+                if sign then f else fun t -> -.f t)
+              (sum_terms e [])
+          in
+          match Array.of_list fns with
+          | [| a; b; c |] -> fun t -> a t +. b t +. c t
+          | [| a; b; c; d |] -> fun t -> a t +. b t +. c t +. d t
+          | [| a; b; c; d; e |] -> fun t -> a t +. b t +. c t +. d t +. e t
+          | [| a; b; c; d; e; f |] -> fun t -> a t +. b t +. c t +. d t +. e t +. f t
+          | [| a; b; c; d; e; f; g |] ->
+              fun t -> a t +. b t +. c t +. d t +. e t +. f t +. g t
+          | [| a; b; c; d; e; f; g; h |] ->
+              fun t -> a t +. b t +. c t +. d t +. e t +. f t +. g t +. h t
+          | _ -> assert false (* arity guarded above *))
+      | Binop (Mul, a, b) when st.fast && const_float_of lookup a <> None ->
+          let c = Option.get (const_float_of lookup a) in
+          let fb = compile_float ~count st lookup b in
+          fun t -> c *. fb t
+      | Binop (Mul, a, b) when st.fast && const_float_of lookup b <> None ->
+          let c = Option.get (const_float_of lookup b) in
+          let fa = compile_float ~count st lookup a in
+          fun t -> fa t *. c
       | Binop (op, a, b) -> (
-          let fa = compile_float st lookup a and fb = compile_float st lookup b in
+          let fa = compile_float ~count st lookup a
+          and fb = compile_float ~count st lookup b in
           match op with
           | Add -> fun t -> fa t +. fb t
           | Sub -> fun t -> fa t -. fb t
@@ -286,7 +548,7 @@ and compile_float st lookup e : int -> float =
           | Mod -> fun t -> Float.rem (fa t) (fb t)
           | _ -> err st "comparison in float context")
       | Unop (Neg, a) ->
-          let f = compile_float st lookup a in
+          let f = compile_float ~count st lookup a in
           fun t -> -.f t
       | Unop (Not, _) -> err st "logical not in float context"
       | Ternary (c, a, b) ->
@@ -295,7 +557,7 @@ and compile_float st lookup e : int -> float =
           and fb = compile_float st lookup b in
           fun t -> if fc t <> 0 then fa t else fb t
       | Call (fname, args) -> (
-          let fargs = List.map (compile_float st lookup) args in
+          let fargs = List.map (compile_float ~count st lookup) args in
           match (fname, fargs) with
           | ("sqrt", [ a ]) -> fun t -> sqrt (a t)
           | ("fabs", [ a ]) | ("abs", [ a ]) -> fun t -> Float.abs (a t)
@@ -318,6 +580,13 @@ and compile_float st lookup e : int -> float =
 
 type cstmt =
   | Leaf of { fn : int -> unit; cond : (int -> int) option }
+  | GLeaf of (int -> int) * (int -> unit) * (int -> unit)
+      (* sync-free [If] whose condition is pure integer arithmetic
+         (no array reads, calls, or trapping Div/Mod): the condition is
+         evaluated once per thread, serving both the warp-divergence
+         accounting and the branch dispatch, where [Leaf] evaluates it
+         twice. Purity makes the single evaluation observationally
+         identical. *)
   | CIf of (int -> int) * cstmt list * cstmt list
   | CFor of {
       set : int -> int -> unit;  (* thread -> value -> () *)
@@ -331,12 +600,70 @@ type cstmt =
 let has_sync stmts =
   fold_stmts (fun acc s -> acc || s = Syncthreads) false stmts
 
+let stmts_read_var v stmts =
+  let found = ref false in
+  ignore
+    (map_exprs_in_stmts
+       (fun e ->
+         (match e with Var x when x = v -> found := true | _ -> ());
+         e)
+       stmts);
+  !found
+
+(* integer-only, side-effect-free, non-trapping conditions: evaluating
+   them once (GLeaf) or twice (Leaf: divergence pass + dispatch) is
+   indistinguishable — no stats, no memory traffic, no Sim_error *)
+let rec pure_int_cond lookup e =
+  match e with
+  | Int_lit _ -> true
+  | Builtin (Thread_idx _ | Block_idx _) -> true
+  | Builtin _ -> false
+  | Var v -> ( match lookup v with Const_int _ | Int_slot _ -> true | _ -> false)
+  | Binop ((Div | Mod), _, _) -> false
+  | Binop (_, a, b) -> pure_int_cond lookup a && pure_int_cond lookup b
+  | Unop (_, a) -> pure_int_cond lookup a
+  | Ternary (c, a, b) ->
+      pure_int_cond lookup c && pure_int_cond lookup a && pure_int_cond lookup b
+  | Double_lit _ | Index _ | Call _ -> false
+
+(* number of global-array reads one evaluation of [e] performs, or
+   [None] when the count is data-dependent (a [Ternary] picks a branch
+   at run time). Shared-memory reads are excluded: they do not touch
+   [global_read_bytes] and keep their per-access hazard accounting. *)
+let static_read_count lookup e =
+  let rec go e =
+    match e with
+    | Index (a, _) -> ( match lookup a with Global _ -> 1 | _ -> 0)
+    | Binop (_, a, b) -> go a + go b
+    | Unop (_, a) -> go a
+    | Call (_, args) -> List.fold_left (fun acc a -> acc + go a) 0 args
+    | Ternary _ -> raise Exit
+    | Int_lit _ | Double_lit _ | Var _ | Builtin _ -> 0
+  in
+  try Some (go e) with Exit -> None
+
 (* compile a statement list into a single per-thread closure (no syncs
    inside, guaranteed by caller) *)
 let rec compile_thread_fn st lookup stmts : int -> unit =
   let fns = List.map (compile_thread_stmt st lookup) stmts in
   match fns with
   | [ f ] -> f
+  | [ f; g ] when st.fast ->
+      fun t ->
+        f t;
+        g t
+  | [ f; g; h ] when st.fast ->
+      fun t ->
+        f t;
+        g t;
+        h t
+  | fns when st.fast ->
+      let a = Array.of_list fns in
+      let n = Array.length a in
+      fun t ->
+        for i = 0 to n - 1 do
+          (Array.unsafe_get a i) t
+        done
   | fns -> fun t -> List.iter (fun f -> f t) fns
 
 and compile_thread_stmt st lookup s : int -> unit =
@@ -347,50 +674,133 @@ and compile_thread_stmt st lookup s : int -> unit =
       fun _ -> ()
   | Decl (_, v, Some e) | Assign (Lvar v, e) -> (
       match lookup v with
-      | Int_slot slot ->
-          let f = compile_int st lookup e in
+      | Int_slot slot -> (
           let arr = st.iregs.(slot) in
-          fun t -> arr.(t) <- f t
+          match e with
+          (* induction-variable increments from the affine pass *)
+          | Binop (Add, Var v', Int_lit c) when st.fast && v' = v ->
+              fun t -> Array.unsafe_set arr t (Array.unsafe_get arr t + c)
+          | Binop (Add, Var v', Var s)
+            when st.fast && v' = v && (match lookup s with Int_slot _ -> true | _ -> false) ->
+              let sarr = match lookup s with Int_slot i -> st.iregs.(i) | _ -> assert false in
+              fun t -> Array.unsafe_set arr t (Array.unsafe_get arr t + Array.unsafe_get sarr t)
+          | _ ->
+              let f = compile_int st lookup e in
+              if st.fast then fun t -> Array.unsafe_set arr t (f t) else fun t -> arr.(t) <- f t)
       | Float_slot slot ->
-          let f = compile_float st lookup e in
-          let flops = float_flops lookup e in
+          (* fast mode: count the statement's global reads statically and
+             bump the byte counter once per execution instead of once per
+             read (the per-read order is only observable on an aborting
+             launch, whose stats are unspecified) *)
+          let sreads = if st.fast then static_read_count lookup e else None in
+          let rb = match sreads with Some k -> 8 * k | None -> 0 in
+          let f = compile_float ~count:(sreads = None) st lookup e in
+          let flops = float_of_int (float_flops lookup e) in
           let arr = st.fregs.(slot) in
-          fun t ->
-            arr.(t) <- f t;
-            stats.flops <- stats.flops +. float_of_int flops
+          if st.fast then
+            if rb = 0 && flops = 0.0 then fun t -> Array.unsafe_set arr t (f t)
+            else if rb = 0 then
+              fun t ->
+                Array.unsafe_set arr t (f t);
+                stats.flops <- stats.flops +. flops
+            else if flops = 0.0 then
+              fun t ->
+                Array.unsafe_set arr t (f t);
+                stats.global_read_bytes <- stats.global_read_bytes + rb
+            else
+              fun t ->
+                Array.unsafe_set arr t (f t);
+                stats.global_read_bytes <- stats.global_read_bytes + rb;
+                stats.flops <- stats.flops +. flops
+          else if flops = 0.0 then fun t -> arr.(t) <- f t
+          else
+            fun t ->
+              arr.(t) <- f t;
+              stats.flops <- stats.flops +. flops
       | _ -> err st (Printf.sprintf "assignment to non-scalar %s" v))
   | Assign (Lindex (a, idxs), e) -> (
       match lookup a with
-      | Global data ->
-          let idx =
+      | Global data -> (
+          let single =
             match idxs with
-            | [ i ] -> compile_int st lookup i
+            | [ i ] -> i
             | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
           in
-          let rhs = compile_float st lookup e in
-          let flops = float_flops lookup e in
+          let sreads = if st.fast then static_read_count lookup e else None in
+          let rb = match sreads with Some k -> 8 * k | None -> 0 in
+          let rhs = compile_float ~count:(sreads = None) st lookup e in
+          let flops = float_of_int (float_flops lookup e) in
           let n = Array.length data in
           let touched = usage_flag st.write_flags a in
-          fun t ->
-            let i = idx t in
-            if i < 0 || i >= n then
-              err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
-            else begin
-              data.(i) <- rhs t;
-              stats.global_write_bytes <- stats.global_write_bytes + 8;
-              stats.flops <- stats.flops +. float_of_int flops;
-              touched := true
-            end
+          let oob i =
+            err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
+          in
+          let slot v = match lookup v with Int_slot s -> Some st.iregs.(s) | _ -> None in
+          let fused =
+            if not st.fast then None
+            else
+              match single with
+              | Var v -> Option.map (fun arr -> (arr, 0)) (slot v)
+              | Binop (Add, Var v, Int_lit c) | Binop (Add, Int_lit c, Var v) ->
+                  Option.map (fun arr -> (arr, c)) (slot v)
+              | Binop (Sub, Var v, Int_lit c) -> Option.map (fun arr -> (arr, -c)) (slot v)
+              | _ -> None
+          in
+          match fused with
+          | Some (arr, off) when rb = 0 ->
+              fun t ->
+                let i = Array.unsafe_get arr t + off in
+                if i < 0 || i >= n then oob i
+                else begin
+                  Array.unsafe_set data i (rhs t);
+                  stats.global_write_bytes <- stats.global_write_bytes + 8;
+                  stats.flops <- stats.flops +. flops;
+                  touched := true
+                end
+          | Some (arr, off) ->
+              fun t ->
+                let i = Array.unsafe_get arr t + off in
+                if i < 0 || i >= n then oob i
+                else begin
+                  Array.unsafe_set data i (rhs t);
+                  stats.global_read_bytes <- stats.global_read_bytes + rb;
+                  stats.global_write_bytes <- stats.global_write_bytes + 8;
+                  stats.flops <- stats.flops +. flops;
+                  touched := true
+                end
+          | None ->
+              let idx = compile_int st lookup single in
+              if st.fast then
+                fun t ->
+                  let i = idx t in
+                  if i < 0 || i >= n then oob i
+                  else begin
+                    Array.unsafe_set data i (rhs t);
+                    stats.global_read_bytes <- stats.global_read_bytes + rb;
+                    stats.global_write_bytes <- stats.global_write_bytes + 8;
+                    stats.flops <- stats.flops +. flops;
+                    touched := true
+                  end
+              else
+                fun t ->
+                  let i = idx t in
+                  if i < 0 || i >= n then oob i
+                  else begin
+                    data.(i) <- rhs t;
+                    stats.global_write_bytes <- stats.global_write_bytes + 8;
+                    stats.flops <- stats.flops +. flops;
+                    touched := true
+                  end)
       | Shared (slot, dims) ->
           let idx_fns = List.map (compile_int st lookup) idxs in
           let rhs = compile_float st lookup e in
-          let flops = float_flops lookup e in
+          let flops = float_of_int (float_flops lookup e) in
           fun t ->
             let addr = shared_addr st dims idx_fns a t in
             st.shmem.(slot).(addr) <- rhs t;
             st.sh_writer.(slot).(addr) <- t;
             st.sh_epoch.(slot).(addr) <- st.epoch;
-            stats.flops <- stats.flops +. float_of_int flops
+            stats.flops <- stats.flops +. flops
       | _ -> err st (Printf.sprintf "%s is not an array" a))
   | If (c, tb, eb) ->
       let fc = compile_cond st lookup c in
@@ -400,16 +810,88 @@ and compile_thread_stmt st lookup s : int -> unit =
       match lookup l.index with
       | Int_slot slot ->
           let flo = compile_int st lookup l.lo and fhi = compile_int st lookup l.hi in
-          let body = compile_thread_fn st lookup l.body in
           let arr = st.iregs.(slot) in
           let step = l.step in
-          fun t ->
-            let hi = fhi t in
-            arr.(t) <- flo t;
-            while arr.(t) < hi do
-              body t;
-              arr.(t) <- arr.(t) + step
-            done
+          if st.fast && not (stmts_read_var l.index l.body) then begin
+            (* the body never reads the loop variable (the affine pass
+               replaced every use): keep it in the local ref and publish
+               only the final value, which is all later statements can
+               observe *)
+            (* split the trailing run of induction increments
+               (v = v + c, v = v + stride — the shape the affine pass
+               appends) off the body and drive them from parallel arrays:
+               the hot loop then pays one indirect call per iteration
+               instead of one per increment *)
+            let inc_of s =
+              match s with
+              | Assign (Lvar v, Binop (Add, Var v', addend)) when v = v' -> (
+                  match lookup v with
+                  | Int_slot sl -> (
+                      let nthreads = Array.length arr in
+                      match addend with
+                      | Int_lit c -> Some (st.iregs.(sl), Array.make nthreads c)
+                      | Var sv -> (
+                          match lookup sv with
+                          | Int_slot ss -> Some (st.iregs.(sl), st.iregs.(ss))
+                          | Const_int c -> Some (st.iregs.(sl), Array.make nthreads c)
+                          | _ -> None)
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None
+            in
+            let rec take_incs rev acc =
+              match rev with
+              | s :: rest -> (
+                  match inc_of s with
+                  | Some i -> take_incs rest (i :: acc)
+                  | None -> (List.rev rev, acc))
+              | [] -> ([], acc)
+            in
+            let prefix, incs = take_incs (List.rev l.body) [] in
+            if List.length incs >= 2 then begin
+              let body = compile_thread_fn st lookup prefix in
+              let tgt = Array.of_list (List.map fst incs) in
+              let adds = Array.of_list (List.map snd incs) in
+              let k = Array.length tgt in
+              fun t ->
+                let hi = fhi t in
+                let i = ref (flo t) in
+                Array.unsafe_set arr t !i;
+                while !i < hi do
+                  body t;
+                  for j = 0 to k - 1 do
+                    let a = Array.unsafe_get tgt j in
+                    Array.unsafe_set a t
+                      (Array.unsafe_get a t
+                      + Array.unsafe_get (Array.unsafe_get adds j) t)
+                  done;
+                  i := !i + step
+                done;
+                Array.unsafe_set arr t !i
+            end
+            else
+              let body = compile_thread_fn st lookup l.body in
+              fun t ->
+                let hi = fhi t in
+                let i = ref (flo t) in
+                Array.unsafe_set arr t !i;
+                while !i < hi do
+                  body t;
+                  i := !i + step
+                done;
+                Array.unsafe_set arr t !i
+          end
+          else
+            let body = compile_thread_fn st lookup l.body in
+            fun t ->
+              let hi = fhi t in
+              let i = ref (flo t) in
+              arr.(t) <- !i;
+              while !i < hi do
+                body t;
+                i := !i + step;
+                arr.(t) <- !i
+              done
       | _ -> err st (Printf.sprintf "loop index %s is not an int slot" l.index))
   | Return -> fun t -> st.alive.(t) <- false; raise Thread_exit
   | Shared_decl _ -> fun _ -> ()
@@ -417,10 +899,17 @@ and compile_thread_stmt st lookup s : int -> unit =
 
 let rec compile_stmt st lookup s : cstmt =
   if not (has_sync [ s ]) then
-    let cond =
-      match s with If (c, _, _) -> Some (compile_cond st lookup c) | _ -> None
-    in
-    Leaf { fn = compile_thread_stmt st lookup s; cond }
+    match s with
+    | If (c, tb, eb) when st.fast && pure_int_cond lookup c ->
+        GLeaf
+          ( compile_cond st lookup c,
+            compile_thread_fn st lookup tb,
+            compile_thread_fn st lookup eb )
+    | _ ->
+        let cond =
+          match s with If (c, _, _) -> Some (compile_cond st lookup c) | _ -> None
+        in
+        Leaf { fn = compile_thread_stmt st lookup s; cond }
   else
     match s with
     | Syncthreads -> CSync
@@ -474,8 +963,44 @@ and exec_cstmt st c =
   | CSync -> st.epoch <- st.epoch + 1
   | Leaf { fn; cond } ->
       (match cond with Some f -> record_divergence st f | None -> ());
-      for t = 0 to st.nthreads - 1 do
-        if st.alive.(t) then try fn t with Thread_exit -> ()
+      if st.has_return then
+        for t = 0 to st.nthreads - 1 do
+          if st.alive.(t) then try fn t with Thread_exit -> ()
+        done
+      else
+        (* no [return] in the kernel: alive never changes and Thread_exit
+           cannot be raised, so run the tight loop *)
+        for t = 0 to st.nthreads - 1 do
+          fn t
+        done
+  | GLeaf (cond, ft, fe) ->
+      (* one condition evaluation per thread feeds both the warp
+         accounting and the branch dispatch; totals match the Leaf path
+         (divergence pass then execution) because the condition is pure *)
+      let stats = st.stats in
+      let n = st.nthreads in
+      let warp_count = (n + 31) / 32 in
+      for w = 0 to warp_count - 1 do
+        let ones = ref 0 and zeros = ref 0 in
+        if st.has_return then
+          for t = w * 32 to min n ((w + 1) * 32) - 1 do
+            if st.alive.(t) then begin
+              let c = cond t <> 0 in
+              if c then incr ones else incr zeros;
+              try if c then ft t else fe t with Thread_exit -> ()
+            end
+          done
+        else
+          for t = w * 32 to min n ((w + 1) * 32) - 1 do
+            let c = cond t <> 0 in
+            if c then incr ones else incr zeros;
+            if c then ft t else fe t
+          done;
+        if !ones + !zeros > 0 then begin
+          stats.warp_cond_evals <- stats.warp_cond_evals + 1;
+          if !ones > 0 && !zeros > 0 then
+            stats.divergent_warp_cond_evals <- stats.divergent_warp_cond_evals + 1
+        end
       done
   | CIf (cond, tb, eb) -> (
       match first_alive st with
@@ -560,87 +1085,30 @@ let collect_scalar_slots kernel_name body params =
   (table, !int_slots, !float_slots, !shared_slots)
 
 (* the flags are keyed by PARAMETER names; translate to host array names *)
-let observed_usage st (kernel : kernel) args =
+let usage_to_host (kernel : kernel) args (read_params, write_params) =
   let binding = bind_args kernel args in
   let host p = match List.assoc_opt p binding with Some (Arg_array h) -> Some h | _ -> None in
-  let collect tbl =
-    Hashtbl.fold (fun p r acc -> if !r then match host p with Some h -> h :: acc | None -> acc else acc) tbl []
-    |> List.sort_uniq compare
-  in
-  (collect st.read_flags, collect st.write_flags)
+  let collect params = List.filter_map host params |> List.sort_uniq compare in
+  (collect read_params, collect write_params)
 
-let launch_ext mem prog (l : launch) =
+(* Blocks are independent in the executed subset (no inter-block sync or
+   atomics; kft_verify additionally proves per-thread write disjointness
+   for verified kernels), so the grid loop fans out over the engine's
+   domain pool in contiguous chunks of the linearized block range. Every
+   per-block [stats] delta is recorded, then merged in block-index order
+   whatever the chunking, so stats and memory are bit-identical at any
+   jobs setting. Kernels with cross-block write overlap are undefined
+   behaviour in CUDA itself; for those the sequential path keeps the
+   last-writer-in-block-order result while parallel chunks may differ. *)
+let launch_ext ?engine ?(affine = true) mem prog (l : launch) =
   let kernel = find_kernel prog l.l_kernel in
   let bound = bind_args kernel l.l_args in
   let bx, by, bz = l.l_block in
   let gx, gy, gz = grid_of_launch l in
   let nthreads = bx * by * bz in
   if nthreads <= 0 then raise (Sim_error { kernel = l.l_kernel; message = "empty thread block" });
-  let table, n_int, n_float, shared_decls =
-    collect_scalar_slots kernel.k_name kernel.k_body kernel.k_params
-  in
-  (* parameters become constants / array bindings *)
-  List.iter
-    (fun (p, a) ->
-      let b =
-        match (p, a) with
-        | _, Arg_array host -> (
-            match Memory.get mem host with
-            | data -> Global data
-            | exception Not_found ->
-                raise
-                  (Sim_error
-                     { kernel = kernel.k_name; message = "unknown device array " ^ host }))
-        | _, Arg_int i -> Const_int i
-        | _, Arg_double f -> Const_float f
-      in
-      Hashtbl.replace table p b)
-    (List.map2 (fun p a -> (param_name p, a)) kernel.k_params l.l_args);
-  ignore bound;
-  List.iteri
-    (fun i (n, dims) -> Hashtbl.replace table n (Shared (i, dims)))
-    shared_decls;
-  let shared_bytes =
-    List.fold_left (fun acc (_, dims) -> acc + (8 * List.fold_left ( * ) 1 dims)) 0 shared_decls
-  in
-  let blocks = gx * gy * gz in
-  let stats =
-    {
-      global_read_bytes = 0;
-      global_write_bytes = 0;
-      flops = 0.0;
-      warp_cond_evals = 0;
-      divergent_warp_cond_evals = 0;
-      shared_hazards = 0;
-      threads_launched = nthreads * blocks;
-      threads_active = 0;
-      shared_bytes_per_block = shared_bytes;
-      blocks_launched = blocks;
-    }
-  in
-  let txs = Array.init nthreads (fun t -> t mod bx)
-  and tys = Array.init nthreads (fun t -> t / bx mod by)
-  and tzs = Array.init nthreads (fun t -> t / (bx * by)) in
-  let st =
-    {
-      kernel_name = kernel.k_name;
-      bx; by; bz;
-      nthreads;
-      txs; tys; tzs;
-      bix = 0; biy = 0; biz = 0;
-      iregs = Array.init n_int (fun _ -> Array.make nthreads 0);
-      fregs = Array.init n_float (fun _ -> Array.make nthreads 0.0);
-      shmem = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) 0.0) shared_decls);
-      sh_writer = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) (-1)) shared_decls);
-      sh_epoch = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) (-1)) shared_decls);
-      epoch = 0;
-      alive = Array.make nthreads true;
-      stats;
-      read_flags = Hashtbl.create 8;
-      write_flags = Hashtbl.create 8;
-    }
-  in
-  (* substitute blockDim/gridDim by constants before compiling *)
+  (* substitute blockDim/gridDim by constants, then strength-reduce the
+     affine index expressions, before slot collection and compilation *)
   let body =
     map_exprs_in_stmts
       (function
@@ -653,37 +1121,135 @@ let launch_ext mem prog (l : launch) =
         | e -> e)
       kernel.k_body
   in
-  let lookup v =
-    match Hashtbl.find_opt table v with
-    | Some b -> b
-    | None -> err st (Printf.sprintf "unbound identifier %s" v)
+  let body = if affine then Affine.rewrite_stmts body else body in
+  let table, n_int, n_float, shared_decls =
+    collect_scalar_slots kernel.k_name body kernel.k_params
   in
-  let compiled = compile_stmts st lookup body in
-  for biz = 0 to gz - 1 do
-    for biy = 0 to gy - 1 do
-      for bix = 0 to gx - 1 do
-        st.bix <- bix;
-        st.biy <- biy;
-        st.biz <- biz;
-        Array.fill st.alive 0 nthreads true;
-        st.epoch <- 0;
-        Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.0) st.shmem;
-        Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_writer;
-        Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_epoch;
-        exec_lockstep st compiled;
-        Array.iter (fun alive -> if alive then stats.threads_active <- stats.threads_active + 1) st.alive
-      done
-    done
-  done;
-  (stats, observed_usage st kernel l.l_args)
+  (* parameters become constants / array bindings *)
+  List.iter
+    (fun (p, a) ->
+      let b =
+        match (p, a) with
+        | _, Arg_array host -> (
+            match Memory.get mem host with
+            | data -> Global data
+            | exception Memory.Unknown_array name ->
+                raise
+                  (Sim_error
+                     { kernel = kernel.k_name; message = "unknown device array " ^ name }))
+        | _, Arg_int i -> Const_int i
+        | _, Arg_double f -> Const_float f
+      in
+      Hashtbl.replace table p b)
+    bound;
+  List.iteri
+    (fun i (n, dims) -> Hashtbl.replace table n (Shared (i, dims)))
+    shared_decls;
+  let shared_bytes =
+    List.fold_left (fun acc (_, dims) -> acc + (8 * List.fold_left ( * ) 1 dims)) 0 shared_decls
+  in
+  let blocks = gx * gy * gz in
+  let has_return = fold_stmts (fun acc s -> acc || s = Return) false body in
+  let txs = Array.init nthreads (fun t -> t mod bx)
+  and tys = Array.init nthreads (fun t -> t / bx mod by)
+  and tzs = Array.init nthreads (fun t -> t / (bx * by)) in
+  let per_block =
+    Array.init blocks (fun _ -> zero_stats ~shared_bytes_per_block:shared_bytes ~blocks_launched:1)
+  in
+  (* Each chunk compiles against its own state (closures capture the
+     register files), walks its contiguous block range and returns the
+     parameter names it observed reading/writing. [table] and [body] are
+     shared read-only. *)
+  let run_chunk (b_lo, b_hi) =
+    let st =
+      {
+        kernel_name = kernel.k_name;
+        bx; by; bz;
+        nthreads;
+        txs; tys; tzs;
+        bix = 0; biy = 0; biz = 0;
+        iregs = Array.init n_int (fun _ -> Array.make nthreads 0);
+        fregs = Array.init n_float (fun _ -> Array.make nthreads 0.0);
+        shmem = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) 0.0) shared_decls);
+        sh_writer = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) (-1)) shared_decls);
+        sh_epoch = Array.of_list (List.map (fun (_, d) -> Array.make (List.fold_left ( * ) 1 d) (-1)) shared_decls);
+        epoch = 0;
+        alive = Array.make nthreads true;
+        stats = zero_stats ~shared_bytes_per_block:shared_bytes ~blocks_launched:1;
+        has_return;
+        fast = affine;
+        read_flags = Hashtbl.create 8;
+        write_flags = Hashtbl.create 8;
+      }
+    in
+    let lookup v =
+      match Hashtbl.find_opt table v with
+      | Some b -> b
+      | None -> err st (Printf.sprintf "unbound identifier %s" v)
+    in
+    let compiled = compile_stmts st lookup body in
+    let stats = st.stats in
+    for b = b_lo to b_hi do
+      let base = copy_stats stats in
+      st.bix <- b mod gx;
+      st.biy <- b / gx mod gy;
+      st.biz <- b / (gx * gy);
+      if has_return then Array.fill st.alive 0 nthreads true;
+      st.epoch <- 0;
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.0) st.shmem;
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_writer;
+      Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_epoch;
+      exec_lockstep st compiled;
+      Array.iter (fun alive -> if alive then stats.threads_active <- stats.threads_active + 1) st.alive;
+      per_block.(b) <- diff_stats stats base
+    done;
+    let observed tbl = Hashtbl.fold (fun p r acc -> if !r then p :: acc else acc) tbl [] in
+    (observed st.read_flags, observed st.write_flags)
+  in
+  let jobs = match engine with Some e -> Engine.jobs e | None -> 1 in
+  let workers = match engine with Some e -> Engine.workers e | None -> 1 in
+  (* each chunk recompiles the kernel against its own register files, so
+     chunks of fewer than ~4 blocks cost more in compilation than they
+     can win back in parallelism: small grids stay sequential. Splitting
+     scales with the domains actually spawned, not the requested width —
+     at least two chunks whenever parallelism was requested, so the
+     ordered-merge path is always exercised. *)
+  let nchunks =
+    if jobs <= 1 then 1 else min (max 2 (workers * 2)) (max 1 (blocks / 4))
+  in
+  let ranges =
+    List.init nchunks (fun c ->
+        (c * blocks / nchunks, ((c + 1) * blocks / nchunks) - 1))
+  in
+  let usages =
+    match engine with
+    | Some e when nchunks > 1 -> Engine.map e run_chunk ranges
+    | _ -> List.map run_chunk ranges
+  in
+  (* deterministic merge: block-index order, independent of chunking *)
+  let stats = zero_stats ~shared_bytes_per_block:shared_bytes ~blocks_launched:blocks in
+  stats.threads_launched <- nthreads * blocks;
+  Array.iter
+    (fun b ->
+      stats.global_read_bytes <- stats.global_read_bytes + b.global_read_bytes;
+      stats.global_write_bytes <- stats.global_write_bytes + b.global_write_bytes;
+      stats.flops <- stats.flops +. b.flops;
+      stats.warp_cond_evals <- stats.warp_cond_evals + b.warp_cond_evals;
+      stats.divergent_warp_cond_evals <-
+        stats.divergent_warp_cond_evals + b.divergent_warp_cond_evals;
+      stats.shared_hazards <- stats.shared_hazards + b.shared_hazards;
+      stats.threads_active <- stats.threads_active + b.threads_active)
+    per_block;
+  let reads = List.concat_map fst usages and writes = List.concat_map snd usages in
+  (stats, usage_to_host kernel l.l_args (List.sort_uniq compare reads, List.sort_uniq compare writes))
 
-let launch mem prog l = fst (launch_ext mem prog l)
+let launch ?engine ?affine mem prog l = fst (launch_ext ?engine ?affine mem prog l)
 
 let launch_with_usage = launch_ext
 
-let run_schedule mem prog =
+let run_schedule ?engine ?affine mem prog =
   List.filter_map
     (function
-      | Launch l -> Some (l, launch mem prog l)
+      | Launch l -> Some (l, launch ?engine ?affine mem prog l)
       | Copy_to_device _ | Copy_to_host _ -> None)
     prog.p_schedule

@@ -1,13 +1,15 @@
 (** Functional GPU simulator: a bulk-synchronous lockstep interpreter
     for the CUDA subset.
 
-    Execution model: thread blocks run one after another; inside a block,
-    statements that contain no [__syncthreads()] execute thread-by-thread
-    (two observations make this sound for the supported subset: race-free
-    kernels are order-insensitive, and racy ones are undefined behaviour
-    in real CUDA — the hazard detector reports them); statements that do
-    contain a barrier execute in lockstep with uniformity checks, exactly
-    the discipline real CUDA requires of barriers.
+    Execution model: thread blocks run independently (optionally in
+    parallel over an engine's domain pool, see {!launch}); inside a
+    block, statements that contain no [__syncthreads()] execute
+    thread-by-thread (two observations make this sound for the supported
+    subset: race-free kernels are order-insensitive, and racy ones are
+    undefined behaviour in real CUDA — the hazard detector reports
+    them); statements that do contain a barrier execute in lockstep with
+    uniformity checks, exactly the discipline real CUDA requires of
+    barriers.
 
     The interpreter doubles as the instrumentation layer of Section 5.1:
     it counts global traffic, floating-point operations, intra-warp
@@ -32,6 +34,10 @@ type stats = {
 
 val divergence_fraction : stats -> float
 
+val copy_stats : stats -> stats
+(** A fresh record with the same counters, so a cached profile can be
+    replayed without aliasing its mutable fields. *)
+
 exception
   Sim_error of {
     kernel : string;
@@ -40,11 +46,28 @@ exception
 (** Out-of-bounds accesses, barrier divergence, unbound names, arity
     errors. *)
 
-val launch : Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> stats
+val launch :
+  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
+  Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> stats
 (** Execute one kernel launch against device memory, returning its
-    execution statistics. *)
+    execution statistics.
+
+    [engine] fans the grid's linearized block range out over the
+    engine's domain pool in contiguous chunks (blocks are independent:
+    the subset has no inter-block synchronization, and kft_verify proves
+    per-thread write disjointness for verified kernels). Per-block stats
+    deltas are merged in block-index order whatever the chunking, so
+    stats and final memory are bit-identical at any jobs setting —
+    including sequential (no engine, the default). A failing launch
+    raises the same [Sim_error] (that of the lowest failing block) in
+    either mode.
+
+    [affine] (default [true]) enables {!Affine} strength reduction of
+    index expressions before compilation; it is observation-preserving
+    (same values, same stats), only faster. *)
 
 val launch_with_usage :
+  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
   Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch ->
   stats * (string list * string list)
 (** Like {!launch}, additionally returning the host arrays the launch
@@ -53,6 +76,8 @@ val launch_with_usage :
     answer to pointer aliasing (Section 7): a dynamic ground truth to
     validate the static dependence analysis against. *)
 
-val run_schedule : Memory.t -> Kft_cuda.Ast.program -> (Kft_cuda.Ast.launch * stats) list
+val run_schedule :
+  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
+  Memory.t -> Kft_cuda.Ast.program -> (Kft_cuda.Ast.launch * stats) list
 (** Execute every [Launch] of the program's schedule in order ([Copy_*]
     markers are no-ops for the simulator: memory is unified). *)

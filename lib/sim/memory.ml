@@ -4,6 +4,8 @@ type entry = { data : float array; edims : int list }
 
 type t = (string, entry) Hashtbl.t
 
+exception Unknown_array of string
+
 let create decls =
   let t = Hashtbl.create 32 in
   List.iter
@@ -37,7 +39,7 @@ let init_seeded t ~seed =
 let find t name =
   match Hashtbl.find_opt t name with
   | Some e -> e
-  | None -> raise Not_found
+  | None -> raise (Unknown_array name)
 
 let get t name = (find t name).data
 
@@ -53,16 +55,16 @@ let copy t =
   t'
 
 let max_abs_diff a b =
-  names a
-  |> List.filter_map (fun n ->
-         if not (mem b n) then None
+  List.sort_uniq compare (names a @ names b)
+  |> List.map (fun n ->
+         if not (mem a n && mem b n) then (n, infinity)
          else
            let da = get a n and db = get b n in
-           if Array.length da <> Array.length db then Some (n, infinity)
+           if Array.length da <> Array.length db then (n, infinity)
            else begin
              let m = ref 0.0 in
              Array.iteri (fun i v -> m := max !m (Float.abs (v -. db.(i)))) da;
-             Some (n, !m)
+             (n, !m)
            end)
 
 let equal_within ~tol a b = List.for_all (fun (_, d) -> d <= tol) (max_abs_diff a b)

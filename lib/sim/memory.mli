@@ -7,6 +7,11 @@
 
 type t
 
+exception Unknown_array of string
+(** Raised by {!get} / {!dims} for an array name this memory does not
+    hold. Carries the offending name; the interpreter re-wraps it in
+    [Interp.Sim_error] together with the launching kernel. *)
+
 val create : Kft_cuda.Ast.array_decl list -> t
 (** Allocate every array, zero-initialized. Raises [Invalid_argument] on
     duplicate names or non-double element types. *)
@@ -17,9 +22,10 @@ val init_seeded : t -> seed:int -> unit
     from the same seed are bit-comparable. *)
 
 val get : t -> string -> float array
-(** The backing store of an array. Raises [Not_found]. *)
+(** The backing store of an array. Raises {!Unknown_array}. *)
 
 val dims : t -> string -> int list
+(** Raises {!Unknown_array}. *)
 
 val mem : t -> string -> bool
 
@@ -28,9 +34,11 @@ val names : t -> string list
 val copy : t -> t
 
 val max_abs_diff : t -> t -> (string * float) list
-(** For every array name present in both memories, the maximum absolute
-    elementwise difference (length mismatches reported as [infinity]).
-    Sorted by name. *)
+(** For every array name present in {e either} memory, the maximum
+    absolute elementwise difference. An array missing on one side — or
+    present with a different length — is reported as [infinity] rather
+    than silently dropped. Sorted by name. *)
 
 val equal_within : tol:float -> t -> t -> bool
-(** True when every common array agrees within [tol]. *)
+(** True when every array of either memory agrees within [tol] (so a
+    one-sided array makes this false). *)

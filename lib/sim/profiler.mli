@@ -18,16 +18,24 @@ type run = {
   memory : Memory.t;  (** final device memory *)
 }
 
-val profile : ?seed:int -> Kft_device.Device.t -> Kft_cuda.Ast.program -> run
+val profile :
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?seed:int ->
+  Kft_device.Device.t -> Kft_cuda.Ast.program -> run
 (** Allocate and seed device memory (default seed 42), then run the full
-    schedule. *)
+    schedule. [engine] and [affine] are passed through to
+    {!Interp.launch}: block-parallel execution and affine index
+    precomputation never change the profile, only how fast it is
+    produced. *)
 
-val profile_with_memory : Kft_device.Device.t -> Memory.t -> Kft_cuda.Ast.program -> run
+val profile_with_memory :
+  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
+  Kft_device.Device.t -> Memory.t -> Kft_cuda.Ast.program -> run
 (** Run against caller-provided memory (mutated in place); used to
     compare two program versions from identical initial state. *)
 
 val verify :
-  ?seed:int -> ?tol:float -> Kft_device.Device.t ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?seed:int -> ?tol:float ->
+  Kft_device.Device.t ->
   original:Kft_cuda.Ast.program -> transformed:Kft_cuda.Ast.program ->
   (unit, (string * float) list) result
 (** Run both programs from identical seeded memory and compare all

@@ -89,9 +89,42 @@ let test_malformed_rejected () =
   | (_ : M.ops_entry list) -> Alcotest.fail "expected failure"
   | exception Failure _ -> ()
 
+let test_profile_cache_replay () =
+  let cache = M.Sim_cache.create () in
+  let r1 = M.profile ~cache Util.device prog in
+  let s1 = M.Sim_cache.stats cache in
+  Alcotest.(check int) "first run misses" 1 s1.misses;
+  Alcotest.(check int) "first run no hits" 0 s1.hits;
+  let r2 = M.profile ~cache Util.device prog in
+  let s2 = M.Sim_cache.stats cache in
+  Alcotest.(check int) "second run hits" 1 s2.hits;
+  Alcotest.(check int) "single entry" 1 s2.size;
+  Alcotest.(check bool) "replayed memory bit-identical" true
+    (Kft_sim.Memory.equal_within ~tol:0.0 r1.memory r2.memory);
+  let key (p : Kft_sim.Profiler.kernel_profile) = (p.kernel, p.stats, p.timing) in
+  Alcotest.(check bool) "replayed profiles identical" true
+    (List.map key r1.profiles = List.map key r2.profiles);
+  Util.check_float "replayed total time identical" r1.total_time_us r2.total_time_us;
+  (* hits return deep copies: mutating a replayed run must not poison the
+     cache for later callers *)
+  (Kft_sim.Memory.get r2.memory "A").(0) <- 1e9;
+  let r3 = M.profile ~cache Util.device prog in
+  Alcotest.(check bool) "mutation isolated from cache" true
+    (Kft_sim.Memory.equal_within ~tol:0.0 r1.memory r3.memory)
+
+let test_profile_cache_distinguishes_seed () =
+  let cache = M.Sim_cache.create () in
+  ignore (M.profile ~cache ~seed:1 Util.device prog);
+  ignore (M.profile ~cache ~seed:2 Util.device prog);
+  let s = M.Sim_cache.stats cache in
+  Alcotest.(check int) "different seeds are different keys" 2 s.misses;
+  Alcotest.(check int) "no spurious hit" 0 s.hits
+
 let suite =
   [
     Alcotest.test_case "gather produces entries" `Quick test_gather_entries;
+    Alcotest.test_case "profile cache replay" `Quick test_profile_cache_replay;
+    Alcotest.test_case "profile cache keyed by seed" `Quick test_profile_cache_distinguishes_seed;
     Alcotest.test_case "shared arrays detected" `Quick test_shared_arrays_detected;
     Alcotest.test_case "operations fields" `Quick test_ops_fields;
     Alcotest.test_case "performance text roundtrip" `Quick test_perf_text_roundtrip;

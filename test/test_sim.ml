@@ -413,3 +413,78 @@ let semantics_suite =
     Alcotest.test_case "division by zero" `Quick test_division_by_zero_caught;
     Alcotest.test_case "memcpy markers are no-ops" `Quick test_copies_are_noops;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Block-parallel execution, affine precomputation, memory edge cases   *)
+(* ------------------------------------------------------------------ *)
+
+module E = Kft_engine.Engine
+
+let run_at ~jobs ~affine prog =
+  let mem = Mem.create prog.Kft_cuda.Ast.p_arrays in
+  Mem.init_seeded mem ~seed:17;
+  let runs =
+    if jobs <= 1 then I.run_schedule ~affine mem prog
+    else
+      E.with_engine ~jobs ~memo:false (fun e -> I.run_schedule ~engine:e ~affine mem prog)
+  in
+  (mem, List.map snd runs)
+
+(* the tentpole determinism property: final memory and every stats field
+   are bit-identical whatever the jobs setting and whether the affine
+   fast path is on — the optimized compilation is differentially tested
+   against the plain reference compilation *)
+let test_block_parallel_determinism () =
+  let prog = Util.producer_consumer_program ~dims:(32, 16, 8) ~block:(16, 4, 1) () in
+  let ref_mem, ref_stats = run_at ~jobs:1 ~affine:false prog in
+  List.iter
+    (fun (jobs, affine) ->
+      let mem, stats = run_at ~jobs ~affine prog in
+      let label = Printf.sprintf "jobs=%d affine=%b" jobs affine in
+      Alcotest.(check bool) (label ^ ": memory bit-identical") true
+        (Mem.equal_within ~tol:0.0 ref_mem mem);
+      Alcotest.(check bool) (label ^ ": stats identical") true (ref_stats = stats))
+    [ (1, true); (2, false); (2, true); (4, false); (4, true) ]
+
+let test_unknown_array () =
+  let mem = Mem.create [ Util.arr3 dims "A" ] in
+  (match Mem.get mem "nope" with
+  | (_ : float array) -> Alcotest.fail "expected Unknown_array"
+  | exception Mem.Unknown_array name -> Alcotest.(check string) "get carries name" "nope" name);
+  match Mem.dims mem "gone" with
+  | (_ : int list) -> Alcotest.fail "expected Unknown_array"
+  | exception Mem.Unknown_array name -> Alcotest.(check string) "dims carries name" "gone" name
+
+let test_max_abs_diff_one_sided () =
+  let mem1 = Mem.create [ Util.arr3 dims "A" ] in
+  let mem2 = Mem.create [ Util.arr3 dims "A"; Util.arr3 dims "B" ] in
+  (match Mem.max_abs_diff mem1 mem2 with
+  | [ ("A", a); ("B", b) ] ->
+      Util.check_float "shared array agrees" 0.0 a;
+      Alcotest.(check bool) "one-sided array reports infinity" true (b = infinity)
+  | _ -> Alcotest.fail "diff shape");
+  Alcotest.(check bool) "one-sided array breaks equality" false
+    (Mem.equal_within ~tol:1e12 mem1 mem2)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_affine_rewrite_structure () =
+  let k =
+    Kft_cuda.Parse.kernel
+      (Util.stencil_src ~name:"st" ~src:"A" ~dst:"B" ~margin:1 ~threed:true)
+  in
+  let k' = Kft_sim.Affine.rewrite_kernel k in
+  Alcotest.(check bool) "original has no __aff" false (contains (Kft_cuda.Pp.kernel k) "__aff");
+  Alcotest.(check bool) "rewrite introduces __aff induction variables" true
+    (contains (Kft_cuda.Pp.kernel k') "__aff")
+
+let parallel_suite =
+  [
+    Alcotest.test_case "determinism across jobs x affine" `Quick test_block_parallel_determinism;
+    Alcotest.test_case "unknown array raises" `Quick test_unknown_array;
+    Alcotest.test_case "one-sided diff is infinite" `Quick test_max_abs_diff_one_sided;
+    Alcotest.test_case "affine rewrite structure" `Quick test_affine_rewrite_structure;
+  ]
