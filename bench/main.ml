@@ -508,6 +508,45 @@ let sim_run_at ~jobs ~affine p =
   if jobs <= 1 then sim_run ~affine p
   else Engine.with_engine ~jobs ~memo:false (fun e -> sim_run ~engine:e ~affine p)
 
+(* splice statically decided guards (kft_absint) in every kernel that is
+   launched with a single distinct (block, grid, int args) configuration;
+   kernels with several configurations keep their guards *)
+let despliced (p : Kft_cuda.Ast.program) =
+  let open Kft_cuda.Ast in
+  let launches_of k =
+    List.filter_map
+      (function Launch l when l.l_kernel = k -> Some l | _ -> None)
+      p.p_schedule
+  in
+  let eliminated = ref 0 in
+  let kernels =
+    List.map
+      (fun k ->
+        let int_params l =
+          try
+            List.concat
+              (List.map2
+                 (fun prm a ->
+                   match (prm, a) with
+                   | Scalar_param { name; _ }, Arg_int v -> [ (name, v) ]
+                   | _ -> [])
+                 k.k_params l.l_args)
+          with Invalid_argument _ -> []
+        in
+        let config l = (l.l_block, grid_of_launch l, int_params l) in
+        match launches_of k.k_name with
+        | l :: rest when List.for_all (fun l' -> config l' = config l) rest ->
+            let k', n =
+              Kft_absint.Absint.simplify_kernel ~block:l.l_block
+                ~grid:(grid_of_launch l) ~int_params:(int_params l) k
+            in
+            eliminated := !eliminated + n;
+            k'
+        | _ -> k)
+      p.p_kernels
+  in
+  ({ p with p_kernels = kernels }, !eliminated)
+
 let sim () =
   print_endline "== simulator throughput: interpret / compiled-affine / block-parallel ==";
   Printf.printf "   (block-parallel at jobs=%d; this host reports %d core(s))\n%!" !jobs
@@ -590,12 +629,68 @@ let sim () =
         :: !json_apps)
     all_app_names;
   print_endline "  bit-identity across jobs in {1,2,4} x affine in {on,off}: ok";
+  (* guard elimination (kft_absint): wall-time effect of splicing
+     provably-true guards, with bit-identity asserted before/after and
+     across the jobs sweep on the spliced program *)
+  print_endline "== guard elimination (kft_absint): before/after splice ==";
+  print_endline "program            guards  wall-before(s)  wall-after(s)  speedup";
+  let guard_rows = ref [] in
+  let datapoint name before after eliminated =
+    let wb, mb, _ = time ~jobs:1 ~affine:true before in
+    let wa, ma, _ = time ~jobs:1 ~affine:true after in
+    if not (Kft_sim.Memory.equal_within ~tol:0.0 mb ma) then begin
+      Printf.eprintf "[bench] sim: guard elimination changed results on %s\n%!" name;
+      exit 1
+    end;
+    (* the spliced program keeps the jobs-sweep bit-identity guarantee *)
+    let _, m4, _ = sim_run_at ~jobs:4 ~affine:true after in
+    if not (Kft_sim.Memory.equal_within ~tol:0.0 ma m4) then begin
+      Printf.eprintf "[bench] sim: spliced %s diverged at jobs=4\n%!" name;
+      exit 1
+    end;
+    Printf.printf "%-18s %6d %15.3f %14.3f %8.2fx\n%!" name eliminated wb wa (wb /. wa);
+    guard_rows :=
+      Printf.sprintf
+        {|    {"program": "%s", "guards_eliminated": %d, "wall_before_s": %.6f, "wall_after_s": %.6f, "speedup": %.3f, "bit_identical": true}|}
+        name eliminated wb wa (wb /. wa)
+      :: !guard_rows
+  in
+  (let q = (Apps.quickstart ()).program in
+   let groups =
+     [ List.filter_map
+         (function Kft_cuda.Ast.Launch l -> Some l | _ -> None)
+         q.p_schedule ]
+   in
+   let off =
+     (Kft_codegen.Codegen.transform
+        ~options:{ Fusion.auto_options with eliminate_guards = false }
+        device q ~groups)
+       .program
+   in
+   let on = Kft_codegen.Codegen.transform ~options:Fusion.auto_options device q ~groups in
+   let eliminated =
+     List.fold_left
+       (fun acc (r : Kft_codegen.Codegen.kernel_report) ->
+         List.fold_left
+           (fun acc n ->
+             try Scanf.sscanf n "eliminated %d" (fun d -> acc + d) with _ -> acc)
+           acc r.notes)
+       0 on.reports
+   in
+   datapoint "quickstart-fused" off on.program eliminated);
+  List.iter
+    (fun name ->
+      let p = (app name).program in
+      let p', n = despliced p in
+      datapoint name p p' n)
+    [ "MITgcm"; "SCALE-LES" ];
   let json =
     Printf.sprintf
-      "{\n  \"bench\": \"sim\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"seed\": 42,\n  \"deterministic\": true,\n  \"apps\": [\n%s\n  ]\n}\n"
+      "{\n  \"bench\": \"sim\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"seed\": 42,\n  \"deterministic\": true,\n  \"apps\": [\n%s\n  ],\n  \"guard_elimination\": [\n%s\n  ]\n}\n"
       !jobs
       (Domain.recommended_domain_count ())
       (String.concat ",\n" (List.rev !json_apps))
+      (String.concat ",\n" (List.rev !guard_rows))
   in
   let oc = open_out "BENCH_sim.json" in
   output_string oc json;

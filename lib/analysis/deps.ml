@@ -23,11 +23,19 @@ let array_dependence_edges (k : kernel) =
     | Call (_, args) -> List.concat_map sources args |> List.sort_uniq compare
     | Ternary (c, a, b) -> union (sources c) (union (sources a) (sources b))
   in
+  (* set-backed accumulator: wide kernels (one write fed by dozens of
+     arrays under many guards) would make [List.mem] on a growing edge
+     list quadratic in the edge count *)
+  let edge_set : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
   let edges = ref [] in
   let add_edge a b =
-    if a <> b then
+    if a <> b then begin
       let p = if a < b then (a, b) else (b, a) in
-      if not (List.mem p !edges) then edges := p :: !edges
+      if not (Hashtbl.mem edge_set p) then begin
+        Hashtbl.replace edge_set p ();
+        edges := p :: !edges
+      end
+    end
   in
   let rec walk stmts =
     List.iter

@@ -151,7 +151,7 @@ let transform ?(options = default_options) device prog ~groups =
                 List.iter
                   (fun l -> emit_single ~notes:[ "fusion fell back: " ^ reason ] l)
                   launches
-            | Ok (k0, _) -> (
+            | Ok (k0, _, _) -> (
                 let regs = Kft_analysis.Cost.estimate_registers k0 in
                 let block, occ_before, occ_after =
                   if options.tune_blocks then tune_fused device plan ~regs ~default_block
@@ -166,7 +166,7 @@ let transform ?(options = default_options) device prog ~groups =
                     List.iter
                       (fun l -> emit_single ~notes:[ "fusion fell back: " ^ reason ] l)
                       launches
-                | Ok (kernel, launch) ->
+                | Ok (kernel, launch, eliminated) ->
                     emit_kernel kernel;
                     emit_launch launch;
                     let bx, by, _ = block in
@@ -185,7 +185,11 @@ let transform ?(options = default_options) device prog ~groups =
                         tuned = block <> default_block;
                         occupancy_before = occ_before;
                         occupancy_after = occ_after;
-                        notes = [];
+                        notes =
+                          (if eliminated > 0 then
+                             [ Printf.sprintf "eliminated %d provably-true guard%s" eliminated
+                                 (if eliminated = 1 then "" else "s") ]
+                           else []);
                       }
                       :: !reports)))
   in

@@ -5,11 +5,19 @@ type options = {
   deep_nest_strategy : [ `Sequential | `Inner_shared ];
   branch_scheme : [ `Per_statement | `Hoisted ];
   tune_blocks : bool;
+  eliminate_guards : bool;
+      (* splice away generated guards the abstract interpreter proves
+         always-true under the block domain (kft_absint); the manual
+         scheme keeps them, mirroring hand-written code *)
 }
 
-let auto_options = { deep_nest_strategy = `Sequential; branch_scheme = `Per_statement; tune_blocks = true }
+let auto_options =
+  { deep_nest_strategy = `Sequential; branch_scheme = `Per_statement; tune_blocks = true;
+    eliminate_guards = true }
 
-let manual_options = { deep_nest_strategy = `Inner_shared; branch_scheme = `Hoisted; tune_blocks = false }
+let manual_options =
+  { deep_nest_strategy = `Inner_shared; branch_scheme = `Hoisted; tune_blocks = false;
+    eliminate_guards = false }
 
 type stage_kind = Reuse | Produced of int
 
@@ -730,5 +738,15 @@ let build device options ~name ~block:(bx, by) plan =
     let launch =
       { l_kernel = name; l_domain = group_domain; l_block = (bx, by, 1); l_args = args }
     in
-    Ok (kernel, launch)
+    (* proof-driven guard elimination: conditions implied by the block
+       domain (e.g. gi < dx when the grid tiles dx exactly) are decided
+       by the abstract interpreter and spliced out; the result is
+       translation-validated downstream like any other fused kernel *)
+    let kernel, eliminated =
+      if options.eliminate_guards then
+        Kft_absint.Absint.simplify_kernel ~block:launch.l_block
+          ~grid:(grid_of_launch launch) ~int_params:[] kernel
+      else (kernel, 0)
+    in
+    Ok (kernel, launch, eliminated)
   end

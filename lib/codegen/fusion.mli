@@ -32,6 +32,10 @@ type options = {
           separately, multiplying divergent branch evaluations (the
           Figure 7 defect); [`Hoisted] (manual fix) guards once *)
   tune_blocks : bool;
+  eliminate_guards : bool;
+      (** drop generated guards whose condition the abstract interpreter
+          (kft_absint) proves implied by the block domain; the rewrite
+          is validated like any other fused kernel *)
 }
 
 val auto_options : options
@@ -72,7 +76,8 @@ val build :
   name:string ->
   block:(int * int) ->
   plan ->
-  (Kft_cuda.Ast.kernel * Kft_cuda.Ast.launch, string) result
-(** Generate the fused kernel and its launch. [Error] when the staging
-    footprint exceeds the device's per-block shared memory at this block
-    size. *)
+  (Kft_cuda.Ast.kernel * Kft_cuda.Ast.launch * int, string) result
+(** Generate the fused kernel and its launch; the [int] counts guards
+    statically eliminated under [eliminate_guards]. [Error] when the
+    staging footprint exceeds the device's per-block shared memory at
+    this block size. *)

@@ -72,6 +72,7 @@ type report = {
   speedup : float;
   verified : (unit, (string * float) list) result;
   verify_report : Verify.report;
+  lint_findings : Kft_absint.Lint.finding list;
   rejected_groups : (string * string) list;
   new_graphs : Ddg.t;
   sim_cache_stats : Kft_engine.Engine.Cache.stats option;
@@ -501,6 +502,23 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     Meta.verify ?cache ?engine ~seed:config.seed ~tol:config.verify_tolerance device
       ~original:prog ~transformed
   in
+  (* lint the emitted program; the measured per-kernel traffic from the
+     profile run feeds the footprint-drift cross-check *)
+  let lint_findings =
+    let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Kft_sim.Profiler.kernel_profile) ->
+        let b =
+          float_of_int
+            (p.stats.Kft_sim.Interp.global_read_bytes
+           + p.stats.Kft_sim.Interp.global_write_bytes)
+        in
+        let cur = match Hashtbl.find_opt tbl p.kernel with Some c -> c | None -> 0.0 in
+        Hashtbl.replace tbl p.kernel (cur +. b))
+      transformed_run.profiles;
+    let measured = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+    Kft_absint.Lint.program ~measured transformed
+  in
   let sim_cache_stats =
     match (cache, cache_stats_before) with
     | Some c, Some s0 ->
@@ -528,6 +546,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     speedup = Kft_sim.Profiler.speedup ~original:baseline ~transformed:transformed_run;
     verified;
     verify_report;
+    lint_findings;
     rejected_groups;
     new_graphs = Ddg.build transformed;
     sim_cache_stats;
@@ -602,10 +621,28 @@ let stage_report r =
      p "  %d launches checked, %d blocks sampled, %d threads walked, %d events%s"
        v.stats.launches_checked v.stats.blocks_sampled v.stats.threads_walked v.stats.events
        (if v.complete then "" else " (budget exhausted: report incomplete)");
+     p "  bounds: %d launches proved by absint, %d on sampled fallback"
+       v.stats.bounds_proved v.stats.bounds_fallback;
      (match v.diagnostics with
      | [] -> p "  clean: no races, barrier divergence, bounds violations or order violations"
      | ds -> List.iter (fun d -> p "  %s" (Verify.pp_diagnostic d)) ds);
      List.iter (fun (k, reason) -> p "  %s: %s" k reason) r.rejected_groups
+   end);
+  p "";
+  p "== lint (kft_absint) ==";
+  (let w = Kft_absint.Lint.warnings r.lint_findings in
+   let i = Kft_absint.Lint.infos r.lint_findings in
+   if w = 0 && i = 0 then p "  clean: no findings"
+   else begin
+     p "  %d warning%s, %d advisory note%s" w
+       (if w = 1 then "" else "s")
+       i
+       (if i = 1 then "" else "s");
+     List.iter
+       (fun (f : Kft_absint.Lint.finding) ->
+         if f.f_severity = Kft_absint.Lint.Warn then
+           p "  %s" (Kft_absint.Lint.render f))
+       r.lint_findings
    end);
   p "";
   p "== result ==";

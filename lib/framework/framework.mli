@@ -80,6 +80,10 @@ type report = {
           validation of every fused group ({!Kft_verify.Verify.validate});
           {!Kft_verify.Verify.empty_report} when [verify_mode] is
           {!Verify_off} *)
+  lint_findings : Kft_absint.Lint.finding list;
+      (** [kft lint] over the emitted program, with the measured
+          per-kernel global traffic of [transformed_run] feeding the
+          footprint-drift cross-check; always computed (cheap, pure) *)
   rejected_groups : (string * string) list;
       (** (fused kernel, reason) pairs for groups the fatal gate split
           back into singletons; always [] outside {!Verify_fatal} *)

@@ -179,3 +179,28 @@ let objective_traffic d groups =
       0.0 groups
   in
   if cost <= 0.0 then 0.0 else 1000.0 /. cost
+
+(* ------------------------------------------------------------------ *)
+(* Advisory hardware-cost hints for the lint surface (kft lint).       *)
+(* Pure functions of the access pattern; deliberately not folded into  *)
+(* [objective] so search results and goldens are unaffected.           *)
+(* ------------------------------------------------------------------ *)
+
+let warp_size = 32
+
+let divergence_penalty ~taken_fraction =
+  let f = Float.min 1.0 (Float.max 0.0 taken_fraction) in
+  2.0 -. Float.abs ((2.0 *. f) -. 1.0)
+
+let coalescing_amplification ~stride =
+  float_of_int (min (abs stride) warp_size)
+  |> Float.max 1.0
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let bank_conflict_ways ~stride =
+  let s = abs stride in
+  if s = 0 then warp_size (* all lanes hit one cell: broadcast reads are
+                             fine, but writes serialize; report the way
+                             count and let the caller decide *)
+  else gcd warp_size s

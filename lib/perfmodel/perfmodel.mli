@@ -74,3 +74,26 @@ val nested_loop_reuse_discount : float
 (** Members with loop-nest depth >= 2 realize only this fraction of the
     projected reuse (the auto-codegen inefficiency of Figure 6 — kept in
     the model so projections stay honest about the generated code). *)
+
+val warp_size : int
+(** Lanes per warp on the modeled device class (32 for Kepler). *)
+
+val divergence_penalty : taken_fraction:float -> float
+(** Modeled execution-cost factor of a thread-dependent guard: when a
+    warp's lanes disagree the hardware serializes the two sides, so a
+    branch taken by a fraction f of the threads costs up to
+    [2 - |2f - 1|] times a uniform branch (1.0 at f = 0 or 1, 2.0 at
+    f = 0.5). Advisory: used by [kft lint] to rank divergent guards, not
+    by {!objective}. *)
+
+val coalescing_amplification : stride:int -> float
+(** Modeled transaction amplification of a global access whose
+    lowest-dimension (threadIdx.x) stride is [stride] elements: a warp
+    touching consecutive cells coalesces into one transaction
+    (factor 1); a strided warp needs up to [min |stride| warp_size]
+    transactions. Advisory, for [kft lint]. *)
+
+val bank_conflict_ways : stride:int -> int
+(** Modeled shared-memory bank-conflict degree of a per-thread stride:
+    [gcd stride warp_size] simultaneous lanes hit the same bank (1 = no
+    conflict). Advisory, for [kft lint]. *)

@@ -103,6 +103,12 @@ type st = {
 
 let err st msg = raise (Sim_error { kernel = st.kernel_name; message = msg })
 
+(* test hook: when set, every in-bounds global access on the
+   interpretive (non-affine) path reports (write, array, linear index);
+   the optimized affine path does not trace, so run with [affine:false].
+   Used by the absint footprint-soundness property tests. *)
+let access_trace : (write:bool -> string -> int -> unit) option ref = ref None
+
 let usage_flag tbl name =
   match Hashtbl.find_opt tbl name with
   | Some r -> r
@@ -486,6 +492,7 @@ and compile_float ?(count = true) st lookup e : int -> float =
                 if i < 0 || i >= n then
                   err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
                 else begin
+                  (match !access_trace with Some f -> f ~write:false a i | None -> ());
                   stats.global_read_bytes <- stats.global_read_bytes + 8;
                   touched := true;
                   data.(i)
@@ -786,6 +793,7 @@ and compile_thread_stmt st lookup s : int -> unit =
                   let i = idx t in
                   if i < 0 || i >= n then oob i
                   else begin
+                    (match !access_trace with Some f -> f ~write:true a i | None -> ());
                     data.(i) <- rhs t;
                     stats.global_write_bytes <- stats.global_write_bytes + 8;
                     stats.flops <- stats.flops +. flops;

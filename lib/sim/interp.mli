@@ -46,6 +46,13 @@ exception
 (** Out-of-bounds accesses, barrier divergence, unbound names, arity
     errors. *)
 
+val access_trace : (write:bool -> string -> int -> unit) option ref
+(** Test hook: when set, every in-bounds global-memory access taken on
+    the interpretive (non-affine) path reports its direction, array name
+    and linear element index. The optimized affine path does not trace —
+    run with [affine:false] (and no [engine]: the callback is invoked
+    from worker domains otherwise). Reset to [None] after use. *)
+
 val launch :
   ?engine:Kft_engine.Engine.t -> ?affine:bool ->
   Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> stats

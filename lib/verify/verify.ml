@@ -34,22 +34,56 @@ type stats = {
   blocks_sampled : int;
   threads_walked : int;
   events : int;
+  bounds_proved : int;  (* launches whose every access absint proved in bounds *)
+  bounds_fallback : int;  (* launches that needed the sampled bounds walk *)
 }
 
 type report = { diagnostics : diagnostic list; stats : stats; complete : bool }
 
-let empty_stats = { launches_checked = 0; blocks_sampled = 0; threads_walked = 0; events = 0 }
+let empty_stats =
+  {
+    launches_checked = 0;
+    blocks_sampled = 0;
+    threads_walked = 0;
+    events = 0;
+    bounds_proved = 0;
+    bounds_fallback = 0;
+  }
 let empty_report = { diagnostics = []; stats = empty_stats; complete = true }
+
+(* Diagnostics are kept in a canonical order — (kernel, line, col, pass,
+   message, statement) — so that merged or parallel-produced reports
+   render identically regardless of scheduling ([--jobs] sweeps must be
+   byte-stable). [sort_uniq] also deduplicates across merged reports. *)
+let compare_diagnostics (a : diagnostic) (b : diagnostic) =
+  let c = compare a.d_kernel b.d_kernel in
+  if c <> 0 then c
+  else
+    let c = compare a.d_loc.line b.d_loc.line in
+    if c <> 0 then c
+    else
+      let c = compare a.d_loc.col b.d_loc.col in
+      if c <> 0 then c
+      else
+        let c = compare (pass_name a.d_pass) (pass_name b.d_pass) in
+        if c <> 0 then c
+        else
+          let c = compare a.d_message b.d_message in
+          if c <> 0 then c else compare a.d_stmt b.d_stmt
+
+let normalize_diagnostics ds = List.sort_uniq compare_diagnostics ds
 
 let merge a b =
   {
-    diagnostics = a.diagnostics @ b.diagnostics;
+    diagnostics = normalize_diagnostics (a.diagnostics @ b.diagnostics);
     stats =
       {
         launches_checked = a.stats.launches_checked + b.stats.launches_checked;
         blocks_sampled = a.stats.blocks_sampled + b.stats.blocks_sampled;
         threads_walked = a.stats.threads_walked + b.stats.threads_walked;
         events = a.stats.events + b.stats.events;
+        bounds_proved = a.stats.bounds_proved + b.stats.bounds_proved;
+        bounds_fallback = a.stats.bounds_fallback + b.stats.bounds_fallback;
       };
     complete = a.complete && b.complete;
   }
@@ -70,6 +104,8 @@ type collector = {
   mutable launches : int;
   mutable blocks : int;
   mutable threads : int;
+  mutable bproved : int;
+  mutable bfallback : int;
 }
 
 let new_collector budget =
@@ -82,6 +118,8 @@ let new_collector budget =
     launches = 0;
     blocks = 0;
     threads = 0;
+    bproved = 0;
+    bfallback = 0;
   }
 
 (* One-line statement rendering is quoted in diagnostics and in the
@@ -124,13 +162,15 @@ let emit col ~pass ~kernel ~loc ~stmt ~key fmt =
 
 let report_of col =
   {
-    diagnostics = List.rev col.out;
+    diagnostics = normalize_diagnostics (List.rev col.out);
     stats =
       {
         launches_checked = col.launches;
         blocks_sampled = col.blocks;
         threads_walked = col.threads;
         events = col.events;
+        bounds_proved = col.bproved;
+        bounds_fallback = col.bfallback;
       };
     complete = col.complete;
   }
@@ -252,6 +292,9 @@ type ctx = {
   shared : (string * int list) list;  (* shared array -> declared dims *)
   shared_tab : (string * int * int, sentry) Hashtbl.t;  (* reset per block *)
   global_tab : (string * int, gentry) Hashtbl.t;  (* per launch *)
+  check_bounds : bool;
+      (* false when kft_absint proved every access of this launch in
+         bounds: the sampled walk then only feeds race analysis *)
 }
 
 type tstate = {
@@ -385,9 +428,10 @@ and record_access ctx st ~write a idxs =
             (fun i (v, d) ->
               if v < 0 || v >= d then begin
                 in_bounds := false;
-                emit ctx.col ~pass:Bounds ~kernel:ctx.kname ~loc ~stmt:(stmt_of st)
-                  ~key:(Printf.sprintf "sb|%s|%d" a i)
-                  "subscript %d of shared %s out of range: %d not in [0,%d)" i a v d
+                if ctx.check_bounds then
+                  emit ctx.col ~pass:Bounds ~kernel:ctx.kname ~loc ~stmt:(stmt_of st)
+                    ~key:(Printf.sprintf "sb|%s|%d" a i)
+                    "subscript %d of shared %s out of range: %d not in [0,%d)" i a v d
               end)
             (List.combine ivals dims);
           if !in_bounds then
@@ -411,12 +455,14 @@ and record_access ctx st ~write a idxs =
                   let host =
                     match List.assoc_opt a ctx.host_of with Some h -> h | None -> a
                   in
-                  if v < 0 || v >= cells then
-                    emit ctx.col ~pass:Bounds ~kernel:ctx.kname ~loc ~stmt:(stmt_of st)
-                      ~key:(Printf.sprintf "gb|%s|%s" a (if write then "w" else "r"))
-                      "out-of-bounds %s of %s: index %d outside extent of %d cells (halo not guarded?)"
-                      (if write then "write" else "read")
-                      a v cells
+                  if v < 0 || v >= cells then begin
+                    if ctx.check_bounds then
+                      emit ctx.col ~pass:Bounds ~kernel:ctx.kname ~loc ~stmt:(stmt_of st)
+                        ~key:(Printf.sprintf "gb|%s|%s" a (if write then "w" else "r"))
+                        "out-of-bounds %s of %s: index %d outside extent of %d cells (halo not guarded?)"
+                        (if write then "write" else "read")
+                        a v cells
+                  end
                   else global_conflicts ctx st ~write ~loc host v)
           | _ -> () (* rank error: Check.kernel reports it *)))
 
@@ -653,6 +699,33 @@ let verify_launch_into col prog (l : launch) =
           (fun acc s -> match s with Shared_decl (_, n, dims) -> (n, dims) :: acc | _ -> acc)
           [] k.k_body
       in
+      (* sound bounds pass: abstract interpretation over the launch
+         domain.  When it proves every access in bounds the sampled walk
+         below stops double-checking subscripts (race analysis only);
+         any access it cannot prove falls back to the sampled bounds
+         checks.  Proved out-of-bounds accesses are reported here with
+         the same dedupe keys the walker would use, so the two passes
+         never double-report one defect. *)
+      let absint =
+        Kft_absint.Absint.analyze_kernel ~block:l.l_block ~grid:(grid_of_launch l)
+          ~int_params ~global_cells k
+      in
+      let bounds_proved = absint.Kft_absint.Absint.res_all_proved in
+      if bounds_proved then col.bproved <- col.bproved + 1
+      else col.bfallback <- col.bfallback + 1;
+      List.iter
+        (fun (a : Kft_absint.Absint.access) ->
+          match (a.acc_status, a.acc_space) with
+          | Kft_absint.Absint.Oob, Kft_absint.Absint.Global ->
+              emit col ~pass:Bounds ~kernel:k.k_name ~loc:a.acc_loc ~stmt:""
+                ~key:(Printf.sprintf "gb|%s|%s" a.acc_array (if a.acc_write then "w" else "r"))
+                "out-of-bounds %s of %s: proved index range %s entirely outside extent of %d                  cells"
+                (if a.acc_write then "write" else "read")
+                a.acc_array
+                (Kft_absint.Absint.pp_itv a.acc_range)
+                a.acc_extent
+          | _ -> ())
+        absint.Kft_absint.Absint.res_accesses;
       let divergent = barrier_pass col k.k_name k.k_body in
       if divergent then
         emit col ~pass:Engine ~kernel:k.k_name ~loc:Loc.none ~stmt:"" ~key:"skip-races"
@@ -673,6 +746,7 @@ let verify_launch_into col prog (l : launch) =
             shared;
             shared_tab = Hashtbl.create 1024;
             global_tab = Hashtbl.create 4096;
+            check_bounds = not bounds_proved;
           }
         in
         try

@@ -66,6 +66,12 @@ type stats = {
   blocks_sampled : int;
   threads_walked : int;
   events : int;  (** statements executed by the per-thread walker *)
+  bounds_proved : int;
+      (** launches whose every access the kft_absint bounds pass proved
+          in bounds (no sampling needed for subscripts) *)
+  bounds_fallback : int;
+      (** launches with at least one access the abstract domain could
+          not decide: the sampled bounds walk remains authoritative *)
 }
 
 type report = {

@@ -181,6 +181,40 @@ let test_separable_groups () =
   let flat = List.sort compare (List.concat groups) in
   Alcotest.(check (list string)) "covers arrays" [ "A"; "B"; "C"; "D" ] flat
 
+let test_wide_kernel_edges () =
+  (* a wide kernel: one output whose write reads from 60 input arrays.
+     Pins the set-backed edge accumulator: exactly one (sorted) edge per
+     distinct pair, no duplicates, single dependence component. *)
+  let n = 60 in
+  let inputs = List.init n (fun i -> Printf.sprintf "A%02d" i) in
+  let rhs =
+    List.fold_left
+      (fun acc a -> Binop (Add, acc, Index (a, [ Var "i" ])))
+      (Double_lit 0.0)
+      inputs
+  in
+  let params =
+    List.map (fun a -> Array_param { name = a; elem_ty = Double; quals = [ Const ] }) inputs
+    @ [
+        Array_param { name = "OUT"; elem_ty = Double; quals = [] };
+        Scalar_param { name = "nx"; ty = Int };
+      ]
+  in
+  let body =
+    [
+      Decl (Int, "i", Some (Binop (Add, Binop (Mul, Builtin (Block_idx X), Builtin (Block_dim X)), Builtin (Thread_idx X))));
+      If (Binop (Lt, Var "i", Var "nx"), [ Assign (Lindex ("OUT", [ Var "i" ]), rhs) ], []);
+    ]
+  in
+  let k = { k_name = "wide"; k_params = params; k_body = body } in
+  let edges = Deps.array_dependence_edges k in
+  Alcotest.(check int) "one edge per input" n (List.length edges);
+  Alcotest.(check (list (pair string string)))
+    "edges are sorted, deduped, canonical"
+    (List.sort compare (List.map (fun a -> (a, "OUT")) inputs))
+    edges;
+  Alcotest.(check int) "single component" 1 (List.length (Deps.separable_groups k))
+
 let test_not_separable_via_temp () =
   (* a scalar temp links the two outputs: t = f(A); B = t; D = t + C *)
   let src =
@@ -282,6 +316,7 @@ let suite =
     Alcotest.test_case "dependent chain" `Quick test_dependent_chain;
     Alcotest.test_case "separable groups" `Quick test_separable_groups;
     Alcotest.test_case "temp links groups" `Quick test_not_separable_via_temp;
+    Alcotest.test_case "wide kernel: deduped dependence edges" `Quick test_wide_kernel_edges;
     Alcotest.test_case "roofline classification" `Quick test_classify_roofline;
     Alcotest.test_case "boundary classification" `Quick test_classify_boundary;
     Alcotest.test_case "latency classification" `Quick test_classify_latency;

@@ -19,4 +19,5 @@ let () =
       ("end-to-end", Test_endtoend.suite);
       ("golden", Test_golden.suite);
       ("verify", Test_verify.suite @ Test_verify.roundtrip_suite);
+      ("absint", Test_absint.suite);
     ]

@@ -1,0 +1,58 @@
+(* CI driver behind the [lint] dune alias (`dune build @lint`): runs
+   [kft lint] (the kft_absint rule set) over the quickstart example and
+   the six bundled evaluation applications with warnings as errors.
+
+   Every program is profiled once first so the footprint-drift rule can
+   cross-check the static traffic estimates against the simulator's
+   measured counters.  Advisory (info) findings are counted but do not
+   fail the alias; any warning does.
+
+   `lint_all smoke` restricts the sweep to the quickstart program; the
+   test suite uses it as a cheap guard inside `dune runtest`. *)
+
+module L = Kft_absint.Lint
+
+let measured_of device (a : Kft_apps.Apps.app) =
+  let run = Kft_sim.Profiler.profile device a.program in
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Kft_sim.Profiler.kernel_profile) ->
+      let b =
+        float_of_int
+          (p.stats.Kft_sim.Interp.global_read_bytes
+         + p.stats.Kft_sim.Interp.global_write_bytes)
+      in
+      let cur = match Hashtbl.find_opt tbl p.kernel with Some c -> c | None -> 0.0 in
+      Hashtbl.replace tbl p.kernel (cur +. b))
+    run.profiles;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let () =
+  let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke" in
+  let apps =
+    if smoke then [ Kft_apps.Apps.quickstart () ]
+    else Kft_apps.Apps.quickstart () :: Kft_apps.Apps.all ()
+  in
+  let device = Kft_device.Device.k20x in
+  let failures = ref 0 in
+  List.iter
+    (fun (a : Kft_apps.Apps.app) ->
+      let fs = L.program ~measured:(measured_of device a) a.program in
+      let w = L.warnings fs in
+      Printf.printf "%-28s %s  (%d warnings, %d advisory notes)\n"
+        a.program.Kft_cuda.Ast.p_name
+        (if w = 0 then "clean" else "WARNINGS")
+        w (L.infos fs);
+      if w > 0 then begin
+        incr failures;
+        List.iter
+          (fun (f : L.finding) ->
+            if f.f_severity = L.Warn then Printf.printf "    %s\n" (L.render f))
+          fs
+      end)
+    apps;
+  if !failures > 0 then begin
+    Printf.printf "lint: %d programs with warnings\n" !failures;
+    exit 1
+  end
+  else print_endline "lint: all clean"

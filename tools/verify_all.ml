@@ -19,9 +19,12 @@ let failures = ref 0
 
 let check what (r : V.report) =
   let ok = V.is_clean r && r.complete in
-  Printf.printf "%-28s %s  (%d launches, %d blocks, %d threads, %d events)\n" what
+  Printf.printf "%-28s %s  (%d launches, %d blocks, %d threads, %d events, %d/%d bounds proved)\n"
+    what
     (if ok then "clean" else "DEFECTS")
-    r.stats.launches_checked r.stats.blocks_sampled r.stats.threads_walked r.stats.events;
+    r.stats.launches_checked r.stats.blocks_sampled r.stats.threads_walked r.stats.events
+    r.stats.bounds_proved
+    (r.stats.bounds_proved + r.stats.bounds_fallback);
   if not ok then begin
     incr failures;
     List.iter (fun d -> Printf.printf "    %s\n" (V.pp_diagnostic d)) r.diagnostics;
