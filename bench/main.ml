@@ -11,6 +11,7 @@
    reuse the run. *)
 
 module F = Kft_framework.Framework
+module Trace = Kft_trace.Trace
 module Gga = Kft_gga.Gga
 module Engine = Kft_engine.Engine
 module Fusion = Kft_codegen.Fusion
@@ -684,13 +685,38 @@ let sim () =
       let p', n = despliced p in
       datapoint name p p' n)
     [ "MITgcm"; "SCALE-LES" ];
+  (* per-stage wall-time breakdown of one traced quickstart
+     transformation (kft_trace): the canonical trace channel is
+     byte-identical across --jobs, the wall clock reported here is the
+     measurement *)
+  print_endline "== pipeline stage breakdown (traced quickstart transform) ==";
+  let stage_rows =
+    let trace = Trace.create "bench" in
+    let config =
+      {
+        F.default_config with
+        device;
+        sim_cache = Some (Kft_metadata.Metadata.Sim_cache.create ());
+        gga_params = gga ~generations:20 ~population:12 ();
+      }
+    in
+    let (_ : F.report) =
+      F.transform ~config ~engine:(engine ()) ~trace (Apps.quickstart ()).program
+    in
+    List.map
+      (fun (stage, wall) ->
+        Printf.printf "  %-20s %8.3f ms\n%!" stage (1000.0 *. wall);
+        Printf.sprintf {|    {"stage": "%s", "wall_s": %.6f}|} stage wall)
+      (Trace.top_spans trace)
+  in
   let json =
     Printf.sprintf
-      "{\n  \"bench\": \"sim\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"seed\": 42,\n  \"deterministic\": true,\n  \"apps\": [\n%s\n  ],\n  \"guard_elimination\": [\n%s\n  ]\n}\n"
+      "{\n  \"bench\": \"sim\",\n  \"jobs\": %d,\n  \"cores\": %d,\n  \"seed\": 42,\n  \"deterministic\": true,\n  \"apps\": [\n%s\n  ],\n  \"guard_elimination\": [\n%s\n  ],\n  \"stage_breakdown\": [\n%s\n  ]\n}\n"
       !jobs
       (Domain.recommended_domain_count ())
       (String.concat ",\n" (List.rev !json_apps))
       (String.concat ",\n" (List.rev !guard_rows))
+      (String.concat ",\n" stage_rows)
   in
   let oc = open_out "BENCH_sim.json" in
   output_string oc json;
@@ -711,7 +737,8 @@ let smoke () =
       let config =
         { base with gga_params = { base.gga_params with generations = 5; population = 10 } }
       in
-      let r = F.transform ~config ~engine:(engine ()) a.program in
+      let trace = Trace.create "bench-smoke" in
+      let r = F.transform ~config ~engine:(engine ()) ~trace a.program in
       (match r.verified with
       | Ok () -> ()
       | Error diffs ->
@@ -719,7 +746,12 @@ let smoke () =
             (mode_name mode) (List.length diffs);
           exit 1);
       Printf.printf "  %-22s %-12s speedup %5.3f  verified ok\n%!" (mode_name mode) a.app_name
-        r.speedup)
+        r.speedup;
+      Printf.printf "    stages: %s\n%!"
+        (String.concat " "
+           (List.map
+              (fun (stage, wall) -> Printf.sprintf "%s=%.1fms" stage (1000.0 *. wall))
+              (Trace.top_spans trace))))
     [
       Fusion_only;
       Fission_fusion;

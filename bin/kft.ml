@@ -1,108 +1,4 @@
-(* kft: umbrella driver for the static tooling.
+(* kft: umbrella driver for the static tooling. The command terms live
+   in Kft_cli.Cli so the test suite can evaluate them in-process. *)
 
-   The first subcommand is [kft lint]: run the abstract-interpretation
-   analyzer (kft_absint) over the quickstart example and the six bundled
-   evaluation applications, and report bounds, memory-pattern and guard
-   diagnostics.  The footprint-drift rule cross-checks the static
-   per-kernel global-traffic estimate against the simulator's measured
-   counters, so by default every program is profiled once first
-   (disable with --no-profile).
-
-   Output is deterministic: findings are totally ordered and
-   deduplicated, so --json output is byte-stable for every --jobs
-   value. *)
-
-open Cmdliner
-module L = Kft_absint.Lint
-
-let lint_apps () = Kft_apps.Apps.quickstart () :: Kft_apps.Apps.all ()
-
-(* measured global traffic, summed per kernel over the schedule (the
-   lint rule only consumes it for kernels launched exactly once) *)
-let measured_of device (a : Kft_apps.Apps.app) =
-  let run = Kft_sim.Profiler.profile device a.program in
-  let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (p : Kft_sim.Profiler.kernel_profile) ->
-      let b =
-        float_of_int
-          (p.stats.Kft_sim.Interp.global_read_bytes
-         + p.stats.Kft_sim.Interp.global_write_bytes)
-      in
-      let cur = match Hashtbl.find_opt tbl p.kernel with Some c -> c | None -> 0.0 in
-      Hashtbl.replace tbl p.kernel (cur +. b))
-    run.profiles;
-  ( a.program.Kft_cuda.Ast.p_name,
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) )
-
-let lint_run json jobs strict no_profile only =
-  let apps = lint_apps () in
-  let apps =
-    match only with
-    | [] -> apps
-    | names -> (
-        let known (a : Kft_apps.Apps.app) = a.program.Kft_cuda.Ast.p_name in
-        match
-          List.filter (fun n -> not (List.exists (fun a -> known a = n) apps)) names
-        with
-        | [] -> List.filter (fun a -> List.mem (known a) names) apps
-        | bad ->
-            Printf.eprintf "kft lint: unknown program%s %s (have: %s)\n"
-              (if List.length bad = 1 then "" else "s")
-              (String.concat ", " bad)
-              (String.concat ", " (List.map known apps));
-            exit 2)
-  in
-  let measured =
-    if no_profile then []
-    else List.map (measured_of Kft_device.Device.k20x) apps
-  in
-  let findings =
-    L.programs ~jobs ~measured
-      (List.map (fun (a : Kft_apps.Apps.app) -> a.program) apps)
-  in
-  print_string (if json then L.render_json findings else L.render_human findings);
-  if L.warnings findings > 0 || (strict && L.infos findings > 0) then exit 1
-
-let lint_cmd =
-  let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON document (stable field order, byte-identical across $(b,--jobs) settings).")
-  in
-  let jobs =
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Analyze programs on $(docv) worker domains. The output is identical at any worker count.")
-  in
-  let strict =
-    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on advisory (info) findings too, not just warnings.")
-  in
-  let no_profile =
-    Arg.(value & flag & info [ "no-profile" ] ~doc:"Skip the simulator pre-run; disables the footprint-drift cross-check.")
-  in
-  let only =
-    Arg.(value & opt_all string [] & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Lint only the named program(s); repeatable. Default: quickstart plus all bundled applications.")
-  in
-  Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Static diagnostics from the abstract-interpretation analyzer"
-       ~man:
-         [
-           `S Manpage.s_description;
-           `P
-             "Runs kft_absint over every launch of every selected program and \
-              reports: unprovable or out-of-bounds accesses ($(b,bounds)), \
-              global accesses with a non-unit threadIdx.x stride \
-              ($(b,uncoalesced)), shared-memory bank conflicts \
-              ($(b,bank-conflict)), static/measured traffic disagreements \
-              ($(b,footprint-drift)), undecidable thread-dependent guards \
-              ($(b,divergent-guard)) and statically decided guards \
-              ($(b,dead-guard)).";
-           `P "Exits 1 if any warning is found (with $(b,--strict), any finding).";
-         ])
-    Term.(const lint_run $ json $ jobs $ strict $ no_profile $ only)
-
-let cmd =
-  Cmd.group
-    (Cmd.info "kft" ~version:"1.0.0"
-       ~doc:"Static analysis companion tools for the transformation framework")
-    [ lint_cmd ]
-
-let () = exit (Cmd.eval cmd)
+let () = exit (Kft_cli.Cli.kft_main ())

@@ -1,179 +1,5 @@
-(* kft-transform: command-line driver for the end-to-end transformation.
+(* kft-transform: command-line driver for the end-to-end transformation
+   (paper Section 3.2). The command terms live in Kft_cli.Cli so the
+   test suite can evaluate them in-process. *)
 
-   Mirrors the paper's workflow control (Section 3.2): the programmer
-   runs the framework over a program, dumps the intermediate artifacts of
-   every stage (metadata text files, DDG/OEG DOT graphs, the GGA
-   parameter file), and emits the new CUDA code. The bundled evaluation
-   applications are available via --app. *)
-
-open Cmdliner
-
-let list_apps () =
-  List.iter
-    (fun (a : Kft_apps.Apps.app) ->
-      Printf.printf "%-13s %3d kernels, %3d arrays  -- %s\n" a.app_name
-        (List.length a.program.p_kernels)
-        (List.length a.program.p_arrays)
-        a.description)
-    (Kft_apps.Apps.all ())
-
-let run app_name device_name generations population jobs no_memo no_sim_cache no_fission
-    no_tuning expert_codegen filter verify seed out_dir emit_cuda quiet list =
-  if list then begin
-    list_apps ();
-    `Ok ()
-  end
-  else
-    match Kft_apps.Apps.by_name app_name with
-    | None ->
-        `Error (false, Printf.sprintf "unknown application %S (try --list)" app_name)
-    | Some app -> (
-        match Kft_device.Device.by_name device_name with
-        | None -> `Error (false, Printf.sprintf "unknown device %S" device_name)
-        | Some base_device ->
-            let device =
-              (* the bundled apps are scaled down; scale the launch
-                 overhead with them (see DESIGN.md) *)
-              { base_device with kernel_launch_overhead_us = 0.3 }
-            in
-            let codegen_options =
-              let base =
-                if expert_codegen then Kft_codegen.Fusion.manual_options
-                else Kft_codegen.Fusion.auto_options
-              in
-              { base with tune_blocks = not no_tuning }
-            in
-            let config =
-              {
-                Kft_framework.Framework.default_config with
-                device;
-                filter_mode =
-                  (match filter with
-                  | "auto" -> Kft_framework.Framework.Automated
-                  | "manual" -> Kft_framework.Framework.Manual
-                  | _ -> Kft_framework.Framework.No_filtering);
-                verify_mode =
-                  (match verify with
-                  | "off" -> Kft_framework.Framework.Verify_off
-                  | "fatal" -> Kft_framework.Framework.Verify_fatal
-                  | _ -> Kft_framework.Framework.Verify_advisory);
-                codegen_options;
-                sim_cache =
-                  (if no_sim_cache then None
-                   else Kft_framework.Framework.default_config.sim_cache);
-                seed;
-                gga_params =
-                  {
-                    Kft_gga.Gga.default_params with
-                    generations;
-                    population;
-                    fission_enabled = not no_fission;
-                    seed;
-                  };
-              }
-            in
-            let report =
-              Kft_engine.Engine.with_engine ~jobs ~memo:(not no_memo) (fun engine ->
-                  Kft_framework.Framework.transform ~config ~engine app.program)
-            in
-            if not quiet then print_string (Kft_framework.Framework.stage_report report);
-            (match out_dir with
-            | Some dir ->
-                if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-                Kft_metadata.Metadata.to_files report.metadata ~dir;
-                let write name contents =
-                  let oc = open_out (Filename.concat dir name) in
-                  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-                      output_string oc contents)
-                in
-                write "ddg.dot" (Kft_ddg.Ddg.ddg_dot report.graphs);
-                write "oeg.dot" (Kft_ddg.Ddg.oeg_dot report.graphs);
-                write "ddg_new.dot" (Kft_ddg.Ddg.ddg_dot report.new_graphs);
-                write "oeg_new.dot" (Kft_ddg.Ddg.oeg_dot report.new_graphs);
-                write "gga.params" (Kft_gga.Gga.params_to_text config.gga_params);
-                Printf.printf "stage artifacts written to %s/\n" dir
-            | None -> ());
-            (match emit_cuda with
-            | Some path ->
-                let oc = open_out path in
-                Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-                    output_string oc (Kft_cuda.Pp.program report.transformed));
-                Printf.printf "transformed CUDA written to %s\n" path
-            | None -> ());
-            List.iter
-              (fun d ->
-                Printf.eprintf "kft-transform: [verify] %s\n"
-                  (Kft_verify.Verify.pp_diagnostic d))
-              report.verify_report.diagnostics;
-            (match report.verified with
-            | Ok () -> (
-                match (verify, Kft_verify.Verify.is_clean report.verify_report) with
-                | "fatal", false ->
-                    `Error
-                      ( false,
-                        Printf.sprintf "static verification found %d defects"
-                          (List.length report.verify_report.diagnostics) )
-                | _ -> `Ok ())
-            | Error diffs ->
-                `Error
-                  ( false,
-                    Printf.sprintf "output verification failed on %d arrays"
-                      (List.length diffs) )))
-
-let cmd =
-  let app_arg =
-    Arg.(value & opt string "MITgcm" & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Application to transform (see --list).")
-  in
-  let device =
-    Arg.(value & opt string "Tesla K20X" & info [ "device" ] ~docv:"NAME" ~doc:"Target device model (Tesla K20X, Tesla K40, Generic Kepler).")
-  in
-  let generations =
-    Arg.(value & opt int 150 & info [ "generations" ] ~doc:"GGA generations (paper default: 500).")
-  in
-  let population =
-    Arg.(value & opt int 40 & info [ "population" ] ~doc:"GGA population size (paper default: 100).")
-  in
-  let jobs =
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains shared by the GGA search and the simulator (profiling, verification and usage pre-runs fan each launch's thread blocks over the pool). Results are bit-identical at any worker count (the paper uses 8 Xeon cores).")
-  in
-  let no_memo =
-    Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable the genome-keyed fitness memo cache (ablation; results are unchanged, only slower).")
-  in
-  let no_sim_cache =
-    Arg.(value & flag & info [ "no-sim-cache" ] ~doc:"Disable the keyed profile cache that replays repeated simulations (ablation; results are unchanged, only slower).")
-  in
-  let no_fission = Arg.(value & flag & info [ "no-fission" ] ~doc:"Disable lazy kernel fission.") in
-  let no_tuning =
-    Arg.(value & flag & info [ "no-tuning" ] ~doc:"Disable thread-block-size tuning.")
-  in
-  let expert =
-    Arg.(value & flag & info [ "expert-codegen" ] ~doc:"Use the expert (hand-fusion-style) code generation switches.")
-  in
-  let filter =
-    Arg.(value & opt string "auto" & info [ "filter" ] ~docv:"auto|manual|none" ~doc:"Target-filtering mode.")
-  in
-  let verify =
-    Arg.(value & opt string "advisory" & info [ "verify" ] ~docv:"off|advisory|fatal" ~doc:"Static race/barrier/bounds verification and translation validation of the generated kernels: record diagnostics (advisory), reject flagged fused groups and fail on residual defects (fatal), or skip (off).")
-  in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (GGA + data).") in
-  let out_dir =
-    Arg.(value & opt (some string) None & info [ "o"; "artifacts" ] ~docv:"DIR" ~doc:"Dump stage artifacts (metadata files, DOT graphs, GGA parameters).")
-  in
-  let emit_cuda =
-    Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE" ~doc:"Write the transformed CUDA program.")
-  in
-  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the stage report.") in
-  let list = Arg.(value & flag & info [ "list" ] ~doc:"List bundled applications and exit.") in
-  let term =
-    Term.ret
-      Term.(
-        const run $ app_arg $ device $ generations $ population $ jobs $ no_memo
-        $ no_sim_cache $ no_fission $ no_tuning $ expert $ filter $ verify $ seed $ out_dir
-        $ emit_cuda $ quiet $ list)
-  in
-  Cmd.v
-    (Cmd.info "kft-transform" ~version:"1.0.0"
-       ~doc:"Automated GPU kernel fusion/fission transformation framework")
-    term
-
-let () = exit (Cmd.eval cmd)
+let () = exit (Kft_cli.Cli.transform_main ())

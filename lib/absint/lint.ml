@@ -220,6 +220,17 @@ let programs ?(jobs = 1) ?(measured = []) (ps : program list) =
 let warnings fs = List.length (List.filter (fun f -> f.f_severity = Warn) fs)
 let infos fs = List.length (List.filter (fun f -> f.f_severity = Info) fs)
 
+(* finding count per rule, sorted by rule name: the deterministic
+   per-rule counters the trace layer records for the lint pass *)
+let rule_counts fs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tbl f.f_rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.f_rule)))
+    fs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
 let render f =
   Printf.sprintf "%s:%s:%d:%d: %s [%s] %s" f.f_program f.f_kernel f.f_loc.Loc.line
     f.f_loc.Loc.col (severity_name f.f_severity) f.f_rule f.f_message

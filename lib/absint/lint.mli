@@ -60,3 +60,7 @@ val render_json : finding list -> string
 
 val warnings : finding list -> int
 val infos : finding list -> int
+
+val rule_counts : finding list -> (string * int) list
+(** Finding count per rule, sorted by rule name (only rules that fired).
+    Deterministic — the per-rule counters the trace layer records. *)

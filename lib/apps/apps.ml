@@ -380,4 +380,6 @@ let all () =
   [ scale_les (); homme (); fluam (); mitgcm (); awp_odc (); bcalm () ]
 
 let by_name name =
-  List.find_opt (fun a -> String.lowercase_ascii a.app_name = String.lowercase_ascii name) (all ())
+  List.find_opt
+    (fun a -> String.lowercase_ascii a.app_name = String.lowercase_ascii name)
+    (quickstart () :: all ())

@@ -67,3 +67,5 @@ val all : unit -> app list
     order. *)
 
 val by_name : string -> app option
+(** Case-insensitive lookup over {!quickstart} (at default dims) plus
+    {!all} — every program the command-line drivers accept. *)

@@ -1,0 +1,338 @@
+(* Command-line terms for the kft / kft-transform binaries.
+
+   The binaries under bin/ are one-line wrappers over this library so
+   the CLI smoke tests can evaluate the exact production terms
+   in-process with [Cmd.eval ~argv] and capture their output, instead
+   of depending on installed executables.  Nothing here calls [exit];
+   every action returns the process exit code. *)
+
+open Cmdliner
+module L = Kft_absint.Lint
+module Trace = Kft_trace.Trace
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* ------------------------------------------------------------------ *)
+(* kft lint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lint_apps () = Kft_apps.Apps.quickstart () :: Kft_apps.Apps.all ()
+
+(* measured global traffic, summed per kernel over the schedule (the
+   lint rule only consumes it for kernels launched exactly once) *)
+let measured_of device (a : Kft_apps.Apps.app) =
+  let run = Kft_sim.Profiler.profile device a.program in
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Kft_sim.Profiler.kernel_profile) ->
+      let b =
+        float_of_int
+          (p.stats.Kft_sim.Interp.global_read_bytes
+         + p.stats.Kft_sim.Interp.global_write_bytes)
+      in
+      let cur = match Hashtbl.find_opt tbl p.kernel with Some c -> c | None -> 0.0 in
+      Hashtbl.replace tbl p.kernel (cur +. b))
+    run.profiles;
+  ( a.program.Kft_cuda.Ast.p_name,
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) )
+
+let lint_run json jobs strict no_profile only trace_file =
+  let apps = lint_apps () in
+  let known (a : Kft_apps.Apps.app) = a.program.Kft_cuda.Ast.p_name in
+  match
+    ( only,
+      List.filter (fun n -> not (List.exists (fun a -> known a = n) apps)) only )
+  with
+  | _ :: _, (_ :: _ as bad) ->
+      Printf.eprintf "kft lint: unknown program%s %s (have: %s)\n"
+        (if List.length bad = 1 then "" else "s")
+        (String.concat ", " bad)
+        (String.concat ", " (List.map known apps));
+      2
+  | only, _ ->
+      let apps =
+        match only with
+        | [] -> apps
+        | names -> List.filter (fun a -> List.mem (known a) names) apps
+      in
+      let trace =
+        match trace_file with Some _ -> Some (Trace.create "kft-lint") | None -> None
+      in
+      let measured =
+        if no_profile then []
+        else List.map (measured_of Kft_device.Device.k20x) apps
+      in
+      let findings =
+        Trace.with_span trace "lint" (fun () ->
+            let fs =
+              L.programs ~jobs ~measured
+                (List.map (fun (a : Kft_apps.Apps.app) -> a.program) apps)
+            in
+            (* per-program child spans carry the per-rule counters; the
+               batch above already ran, so these record counts only
+               (their wall clock is a side channel anyway) *)
+            List.iter
+              (fun a ->
+                Trace.with_span trace ("lint:" ^ known a) (fun () ->
+                    let mine =
+                      List.filter (fun f -> f.L.f_program = known a) fs
+                    in
+                    List.iter
+                      (fun (rule, n) -> Trace.add trace rule n)
+                      (L.rule_counts mine);
+                    Trace.add trace "findings" (List.length mine)))
+              apps;
+            Trace.add trace "warnings" (L.warnings fs);
+            Trace.add trace "infos" (L.infos fs);
+            Trace.note trace "jobs" (Trace.Int jobs);
+            fs)
+      in
+      (match (trace_file, trace) with
+      | Some path, Some t -> write_file path (Trace.render_json t)
+      | _ -> ());
+      print_string (if json then L.render_json findings else L.render_human findings);
+      if L.warnings findings > 0 || (strict && L.infos findings > 0) then 1 else 0
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON document (stable field order, byte-identical across $(b,--jobs) settings).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Analyze programs on $(docv) worker domains. The output is identical at any worker count.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on advisory (info) findings too, not just warnings.")
+  in
+  let no_profile =
+    Arg.(value & flag & info [ "no-profile" ] ~doc:"Skip the simulator pre-run; disables the footprint-drift cross-check.")
+  in
+  let only =
+    Arg.(value & opt_all string [] & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Lint only the named program(s); repeatable. Default: quickstart plus all bundled applications.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write a deterministic machine-JSON trace (kft_trace) with per-program, per-rule finding counters.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static diagnostics from the abstract-interpretation analyzer"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs kft_absint over every launch of every selected program and \
+              reports: unprovable or out-of-bounds accesses ($(b,bounds)), \
+              global accesses with a non-unit threadIdx.x stride \
+              ($(b,uncoalesced)), shared-memory bank conflicts \
+              ($(b,bank-conflict)), static/measured traffic disagreements \
+              ($(b,footprint-drift)), undecidable thread-dependent guards \
+              ($(b,divergent-guard)) and statically decided guards \
+              ($(b,dead-guard)).";
+           `P "Exits 1 if any warning is found (with $(b,--strict), any finding).";
+         ])
+    Term.(const lint_run $ json $ jobs $ strict $ no_profile $ only $ trace_file)
+
+let kft_cmd =
+  Cmd.group
+    (Cmd.info "kft" ~version:"1.0.0"
+       ~doc:"Static analysis companion tools for the transformation framework")
+    [ lint_cmd ]
+
+let kft_main ?argv () = Cmd.eval' ?argv kft_cmd
+
+(* ------------------------------------------------------------------ *)
+(* kft-transform                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let transform_apps () = Kft_apps.Apps.quickstart () :: Kft_apps.Apps.all ()
+
+let list_apps () =
+  List.iter
+    (fun (a : Kft_apps.Apps.app) ->
+      Printf.printf "%-13s %3d kernels, %3d arrays  -- %s\n" a.app_name
+        (List.length a.program.p_kernels)
+        (List.length a.program.p_arrays)
+        a.description)
+    (transform_apps ())
+
+let transform_run app_name device_name generations population jobs no_memo no_sim_cache
+    no_fission no_tuning expert_codegen filter verify seed out_dir emit_cuda quiet list
+    trace_file chrome_file =
+  if list then begin
+    list_apps ();
+    `Ok ()
+  end
+  else
+    match Kft_apps.Apps.by_name app_name with
+    | None ->
+        `Error (false, Printf.sprintf "unknown application %S (try --list)" app_name)
+    | Some app -> (
+        match Kft_device.Device.by_name device_name with
+        | None -> `Error (false, Printf.sprintf "unknown device %S" device_name)
+        | Some base_device ->
+            let device =
+              (* the bundled apps are scaled down; scale the launch
+                 overhead with them (see DESIGN.md) *)
+              { base_device with kernel_launch_overhead_us = 0.3 }
+            in
+            let codegen_options =
+              let base =
+                if expert_codegen then Kft_codegen.Fusion.manual_options
+                else Kft_codegen.Fusion.auto_options
+              in
+              { base with tune_blocks = not no_tuning }
+            in
+            let config =
+              {
+                Kft_framework.Framework.default_config with
+                device;
+                filter_mode =
+                  (match filter with
+                  | "auto" -> Kft_framework.Framework.Automated
+                  | "manual" -> Kft_framework.Framework.Manual
+                  | _ -> Kft_framework.Framework.No_filtering);
+                verify_mode =
+                  (match verify with
+                  | "off" -> Kft_framework.Framework.Verify_off
+                  | "fatal" -> Kft_framework.Framework.Verify_fatal
+                  | _ -> Kft_framework.Framework.Verify_advisory);
+                codegen_options;
+                sim_cache =
+                  (if no_sim_cache then None
+                   else Kft_framework.Framework.default_config.sim_cache);
+                seed;
+                gga_params =
+                  {
+                    Kft_gga.Gga.default_params with
+                    generations;
+                    population;
+                    fission_enabled = not no_fission;
+                    seed;
+                  };
+              }
+            in
+            let trace =
+              match (trace_file, chrome_file) with
+              | None, None -> None
+              | _ -> Some (Trace.create "kft-transform")
+            in
+            let report =
+              Kft_engine.Engine.with_engine ~jobs ~memo:(not no_memo) (fun engine ->
+                  Kft_framework.Framework.transform ~config ~engine ?trace app.program)
+            in
+            if not quiet then print_string (Kft_framework.Framework.stage_report report);
+            (match (trace_file, trace) with
+            | Some path, Some t ->
+                write_file path (Trace.render_json t);
+                if not quiet then Printf.printf "trace written to %s\n" path
+            | _ -> ());
+            (match (chrome_file, trace) with
+            | Some path, Some t ->
+                write_file path (Trace.render_chrome t);
+                if not quiet then Printf.printf "chrome trace written to %s\n" path
+            | _ -> ());
+            (match out_dir with
+            | Some dir ->
+                if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+                Kft_metadata.Metadata.to_files report.metadata ~dir;
+                let write name contents =
+                  write_file (Filename.concat dir name) contents
+                in
+                write "ddg.dot" (Kft_ddg.Ddg.ddg_dot report.graphs);
+                write "oeg.dot" (Kft_ddg.Ddg.oeg_dot report.graphs);
+                write "ddg_new.dot" (Kft_ddg.Ddg.ddg_dot report.new_graphs);
+                write "oeg_new.dot" (Kft_ddg.Ddg.oeg_dot report.new_graphs);
+                write "gga.params" (Kft_gga.Gga.params_to_text config.gga_params);
+                Printf.printf "stage artifacts written to %s/\n" dir
+            | None -> ());
+            (match emit_cuda with
+            | Some path ->
+                write_file path (Kft_cuda.Pp.program report.transformed);
+                Printf.printf "transformed CUDA written to %s\n" path
+            | None -> ());
+            List.iter
+              (fun d ->
+                Printf.eprintf "kft-transform: [verify] %s\n"
+                  (Kft_verify.Verify.pp_diagnostic d))
+              report.verify_report.diagnostics;
+            (match report.verified with
+            | Ok () -> (
+                match (verify, Kft_verify.Verify.is_clean report.verify_report) with
+                | "fatal", false ->
+                    `Error
+                      ( false,
+                        Printf.sprintf "static verification found %d defects"
+                          (List.length report.verify_report.diagnostics) )
+                | _ -> `Ok ())
+            | Error diffs ->
+                `Error
+                  ( false,
+                    Printf.sprintf "output verification failed on %d arrays"
+                      (List.length diffs) )))
+
+let transform_cmd =
+  let app_arg =
+    Arg.(value & opt string "MITgcm" & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Application to transform (see --list).")
+  in
+  let device =
+    Arg.(value & opt string "Tesla K20X" & info [ "device" ] ~docv:"NAME" ~doc:"Target device model (Tesla K20X, Tesla K40, Generic Kepler).")
+  in
+  let generations =
+    Arg.(value & opt int 150 & info [ "generations" ] ~doc:"GGA generations (paper default: 500).")
+  in
+  let population =
+    Arg.(value & opt int 40 & info [ "population" ] ~doc:"GGA population size (paper default: 100).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains shared by the GGA search and the simulator (profiling, verification and usage pre-runs fan each launch's thread blocks over the pool). Results are bit-identical at any worker count (the paper uses 8 Xeon cores).")
+  in
+  let no_memo =
+    Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable the genome-keyed fitness memo cache (ablation; results are unchanged, only slower).")
+  in
+  let no_sim_cache =
+    Arg.(value & flag & info [ "no-sim-cache" ] ~doc:"Disable the keyed profile cache that replays repeated simulations (ablation; results are unchanged, only slower).")
+  in
+  let no_fission = Arg.(value & flag & info [ "no-fission" ] ~doc:"Disable lazy kernel fission.") in
+  let no_tuning =
+    Arg.(value & flag & info [ "no-tuning" ] ~doc:"Disable thread-block-size tuning.")
+  in
+  let expert =
+    Arg.(value & flag & info [ "expert-codegen" ] ~doc:"Use the expert (hand-fusion-style) code generation switches.")
+  in
+  let filter =
+    Arg.(value & opt string "auto" & info [ "filter" ] ~docv:"auto|manual|none" ~doc:"Target-filtering mode.")
+  in
+  let verify =
+    Arg.(value & opt string "advisory" & info [ "verify" ] ~docv:"off|advisory|fatal" ~doc:"Static race/barrier/bounds verification and translation validation of the generated kernels: record diagnostics (advisory), reject flagged fused groups and fail on residual defects (fatal), or skip (off).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (GGA + data).") in
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "o"; "artifacts" ] ~docv:"DIR" ~doc:"Dump stage artifacts (metadata files, DOT graphs, GGA parameters).")
+  in
+  let emit_cuda =
+    Arg.(value & opt (some string) None & info [ "emit-cuda" ] ~docv:"FILE" ~doc:"Write the transformed CUDA program.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the stage report.") in
+  let list = Arg.(value & flag & info [ "list" ] ~doc:"List bundled applications and exit.") in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write the pipeline trace as deterministic machine JSON (kft_trace): hierarchical stage spans with counters, byte-identical at any $(b,--jobs) value.")
+  in
+  let chrome_file =
+    Arg.(value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE" ~doc:"Write the pipeline trace in Chrome trace_event format; load it in about:tracing or Perfetto.")
+  in
+  let term =
+    Term.ret
+      Term.(
+        const transform_run $ app_arg $ device $ generations $ population $ jobs $ no_memo
+        $ no_sim_cache $ no_fission $ no_tuning $ expert $ filter $ verify $ seed $ out_dir
+        $ emit_cuda $ quiet $ list $ trace_file $ chrome_file)
+  in
+  Cmd.v
+    (Cmd.info "kft-transform" ~version:"1.0.0"
+       ~doc:"Automated GPU kernel fusion/fission transformation framework")
+    term
+
+let transform_main ?argv () = Cmd.eval ?argv transform_cmd

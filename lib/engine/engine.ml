@@ -7,6 +7,15 @@ let now () = Unix.gettimeofday ()
 module Pool = struct
   type task = Task of (unit -> unit) | Quit
 
+  type stats = {
+    st_jobs : int;
+    st_workers : int;
+    st_batches : int;
+    st_items : int;
+    st_max_queue : int;
+    st_worker_tasks : int list;
+  }
+
   type t = {
     jobs : int;  (** requested evaluation width *)
     workers : int;  (** domains actually spawned: capped at the core count *)
@@ -15,12 +24,32 @@ module Pool = struct
     m : Mutex.t;
     nonempty : Condition.t;
     mutable shut : bool;
+    (* instrumentation (trace side channel): batches/items count [map]
+       calls and their submission sizes; [max_queue] is the deepest queue
+       observed at submission; [worker_tasks.(i)] counts tasks executed
+       by worker [i] (slot 0 doubles as the inline/sequential path). Each
+       slot is written by exactly one domain and read only after the
+       batch's completion handshake, so the reads are quiescent. *)
+    mutable batches : int;
+    mutable items : int;
+    mutable max_queue : int;
+    worker_tasks : int array;
   }
 
   let jobs t = t.jobs
   let workers t = t.workers
 
-  let rec worker pool =
+  let stats t =
+    {
+      st_jobs = t.jobs;
+      st_workers = t.workers;
+      st_batches = t.batches;
+      st_items = t.items;
+      st_max_queue = t.max_queue;
+      st_worker_tasks = Array.to_list t.worker_tasks;
+    }
+
+  let rec worker pool i =
     Mutex.lock pool.m;
     while Queue.is_empty pool.queue && not pool.shut do
       Condition.wait pool.nonempty pool.m
@@ -31,7 +60,8 @@ module Pool = struct
     | Quit -> ()
     | Task f ->
         f ();
-        worker pool
+        pool.worker_tasks.(i) <- pool.worker_tasks.(i) + 1;
+        worker pool i
 
   let create ~jobs =
     let jobs = max 1 jobs in
@@ -49,10 +79,14 @@ module Pool = struct
         m = Mutex.create ();
         nonempty = Condition.create ();
         shut = false;
+        batches = 0;
+        items = 0;
+        max_queue = 0;
+        worker_tasks = Array.make workers 0;
       }
     in
     if jobs > 1 then
-      pool.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker pool));
+      pool.domains <- List.init workers (fun i -> Domain.spawn (fun () -> worker pool i));
     pool
 
   let shutdown pool =
@@ -74,7 +108,11 @@ module Pool = struct
       invalid_arg "Engine.Pool.map: pool is shut down";
     match items with
     | [] -> []
-    | items when pool.jobs <= 1 -> List.map f items
+    | items when pool.jobs <= 1 ->
+        pool.batches <- pool.batches + 1;
+        pool.items <- pool.items + List.length items;
+        pool.worker_tasks.(0) <- pool.worker_tasks.(0) + 1;
+        List.map f items
     | items ->
         let arr = Array.of_list items in
         let n = Array.length arr in
@@ -98,12 +136,15 @@ module Pool = struct
               decr remaining;
               if !remaining = 0 then Condition.signal done_c)
         in
+        pool.batches <- pool.batches + 1;
+        pool.items <- pool.items + n;
         Mutex.protect pool.m (fun () ->
             for c = 0 to n_chunks - 1 do
               let lo = c * chunk_size in
               let hi = min (n - 1) (lo + chunk_size - 1) in
               Queue.add (Task (task lo hi)) pool.queue
             done;
+            pool.max_queue <- max pool.max_queue (Queue.length pool.queue);
             Condition.broadcast pool.nonempty);
         Mutex.lock done_m;
         while !remaining > 0 do
@@ -168,6 +209,8 @@ let jobs t = Pool.jobs t.pool
 let workers t = Pool.workers t.pool
 
 let memo_enabled t = t.memo
+
+let pool_stats t = Pool.stats t.pool
 
 let map t f items = Pool.map t.pool f items
 

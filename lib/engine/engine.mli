@@ -26,6 +26,18 @@ module Pool : sig
 
   type t
 
+  type stats = {
+    st_jobs : int;
+    st_workers : int;
+    st_batches : int;  (** {!map} calls submitted over the pool's lifetime *)
+    st_items : int;  (** total items across those batches *)
+    st_max_queue : int;  (** deepest task queue observed at submission *)
+    st_worker_tasks : int list;
+        (** tasks executed per worker, in worker index order (slot 0 also
+            counts the inline sequential path). The split across workers
+            is scheduling-dependent — trace side-channel data only. *)
+  }
+
   val create : jobs:int -> t
   (** [jobs] is the evaluation width: [jobs > 1] spawns worker domains
       (the coordinator blocks during {!map}); [jobs <= 1] spawns none and
@@ -51,6 +63,11 @@ module Pool : sig
 
   val shutdown : t -> unit
   (** Join all worker domains. Idempotent. *)
+
+  val stats : t -> stats
+  (** Instrumentation snapshot: per-worker job counts, queue depth and
+      submission-order batch totals. Call between batches (the counters
+      are updated by the coordinator and by workers mid-batch). *)
 end
 
 module Cache : sig
@@ -88,6 +105,10 @@ val create : ?jobs:int -> ?memo:bool -> unit -> t
 val jobs : t -> int
 val workers : t -> int
 val memo_enabled : t -> bool
+
+val pool_stats : t -> Pool.stats
+(** {!Pool.stats} of the engine's pool. Execution-shape data (varies
+    with [--jobs]); consumers put it in the trace's side channel. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!Pool.map} on the engine's pool. *)

@@ -9,6 +9,7 @@ module Fusion = Kft_codegen.Fusion
 module Canonical = Kft_codegen.Canonical
 module Classify = Kft_analysis.Classify
 module Verify = Kft_verify.Verify
+module Trace = Kft_trace.Trace
 
 type filter_mode = Automated | Manual | No_filtering
 
@@ -76,6 +77,7 @@ type report = {
   rejected_groups : (string * string) list;
   new_graphs : Ddg.t;
   sim_cache_stats : Kft_engine.Engine.Cache.stats option;
+  trace : Trace.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -138,7 +140,7 @@ let identify_targets config meta prog (graphs : Ddg.t) =
 (* Pipeline                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
+let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog =
   (* stage 0: frontend validation -- a malformed program would otherwise
      surface as a confusing simulator fault deep in stage 1 *)
   (match Kft_cuda.Check.program prog with
@@ -153,39 +155,68 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
   (* stage 1: metadata (simulation runs go through the profile cache, so
      re-transforming a program — or verifying against it later — replays
      the stored run instead of re-simulating) *)
-  let meta, baseline = Meta.gather ?cache ?engine ~seed:config.seed device prog in
+  let meta, baseline =
+    Trace.with_span trace "gather" (fun () ->
+        let meta, baseline = Meta.gather ?cache ?engine ?trace ~seed:config.seed device prog in
+        Trace.add trace "kernels" (List.length meta.Meta.performance);
+        (meta, baseline))
+  in
   let meta = hooks.amend_metadata meta in
   (* stage 2/3: graphs + targets *)
-  let graphs = Ddg.build prog in
-  let targets0 = identify_targets config meta prog graphs in
-  let amended = hooks.amend_targets (List.map (fun t -> (t.invocation.inv_key, t.eligible)) targets0) in
-  let targets =
-    List.map
-      (fun t ->
-        match List.assoc_opt t.invocation.inv_key amended with
-        | Some e when e <> t.eligible ->
-            { t with eligible = e; reason = t.reason ^ " (amended by programmer)" }
-        | _ -> t)
-      targets0
+  let graphs =
+    Trace.with_span trace "ddg" (fun () ->
+        let g = Ddg.build prog in
+        Trace.add trace "ddg_nodes" (Kft_graph.Digraph.node_count g.Ddg.ddg);
+        Trace.add trace "ddg_edges" (Kft_graph.Digraph.edge_count g.Ddg.ddg);
+        Trace.add trace "oeg_nodes" (Kft_graph.Digraph.node_count g.Ddg.oeg);
+        Trace.add trace "oeg_edges" (Kft_graph.Digraph.edge_count g.Ddg.oeg);
+        g)
   in
-  let eligible = List.filter (fun t -> t.eligible) targets in
+  let targets, eligible =
+    Trace.with_span trace "filter" (fun () ->
+        let targets0 = identify_targets config meta prog graphs in
+        let amended =
+          hooks.amend_targets
+            (List.map (fun t -> (t.invocation.inv_key, t.eligible)) targets0)
+        in
+        let targets =
+          List.map
+            (fun t ->
+              match List.assoc_opt t.invocation.inv_key amended with
+              | Some e when e <> t.eligible ->
+                  { t with eligible = e; reason = t.reason ^ " (amended by programmer)" }
+              | _ -> t)
+            targets0
+        in
+        let eligible = List.filter (fun t -> t.eligible) targets in
+        Trace.add trace "invocations" (List.length targets);
+        Trace.add trace "targets" (List.length eligible);
+        (targets, eligible))
+  in
   (* lazy-fission pre-step: plans + one profiled run of the fully
      fissioned variant to collect part metadata (Section 4.1) *)
-  let fission_plans =
-    if not config.gga_params.fission_enabled then []
-    else
-      List.filter_map
-        (fun t ->
-          let k = find_kernel prog t.invocation.inv_kernel in
-          Option.map (fun p -> (k.k_name, p)) (Fission.plan ~seed:config.seed k))
-        eligible
-  in
-  let prog_fissioned =
-    if fission_plans = [] then None
-    else Some (Fission.apply_to_program ~plans:fission_plans prog)
-  in
-  let meta_fissioned =
-    Option.map (fun p -> fst (Meta.gather ?cache ?engine ~seed:config.seed device p)) prog_fissioned
+  let fission_plans, prog_fissioned, meta_fissioned =
+    Trace.with_span trace "fission" (fun () ->
+        let fission_plans =
+          if not config.gga_params.fission_enabled then []
+          else
+            List.filter_map
+              (fun t ->
+                let k = find_kernel prog t.invocation.inv_kernel in
+                Option.map (fun p -> (k.k_name, p)) (Fission.plan ~seed:config.seed k))
+              eligible
+        in
+        let prog_fissioned =
+          if fission_plans = [] then None
+          else Some (Fission.apply_to_program ~plans:fission_plans prog)
+        in
+        let meta_fissioned =
+          Option.map
+            (fun p -> fst (Meta.gather ?cache ?engine ?trace ~seed:config.seed device p))
+            prog_fissioned
+        in
+        Trace.add trace "plans" (List.length fission_plans);
+        (fission_plans, prog_fissioned, meta_fissioned))
   in
   (* canonical-member cache for codegen-level feasibility *)
   let member_cache : (string, (Canonical.member, string) Stdlib.result) Hashtbl.t =
@@ -254,11 +285,18 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     Hashtbl.create 256
   in
   let group_plan_mutex = Mutex.create () in
+  (* hit/miss split is scheduling-dependent at jobs > 1 (two workers can
+     miss on the same key concurrently) -> trace side channel; the entry
+     count is the set of distinct keys queried -> deterministic *)
+  let gp_hits = ref 0 and gp_misses = ref 0 in
   let group_plan names =
     let names = schedule_sort names in
     let key = String.concat "|" names in
     match
-      Mutex.protect group_plan_mutex (fun () -> Hashtbl.find_opt group_plan_cache key)
+      Mutex.protect group_plan_mutex (fun () ->
+          let r = Hashtbl.find_opt group_plan_cache key in
+          (match r with Some _ -> incr gp_hits | None -> incr gp_misses);
+          r)
     with
     | Some r -> r
     | None ->
@@ -389,7 +427,25 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     }
   in
   let gga_result =
-    if List.length units >= 2 then Some (Gga.run ?engine config.gga_params problem) else None
+    Trace.with_span trace "search" (fun () ->
+        let r =
+          if List.length units >= 2 then Some (Gga.run ?engine ?trace config.gga_params problem)
+          else None
+        in
+        Trace.add trace "units" (List.length units);
+        (match r with
+        | Some g ->
+            let es = g.Gga.engine_stats in
+            Trace.add trace "memo_requested" es.Gga.es_requested;
+            Trace.add trace "memo_computed" es.Gga.es_computed;
+            Trace.set trace "memo" (Trace.Bool es.Gga.es_memo);
+            Trace.note trace "jobs" (Trace.Int es.Gga.es_jobs);
+            Trace.note trace "search_wall_s" (Trace.Float es.Gga.es_search_wall_s)
+        | None -> ());
+        Trace.add trace "plan_cache_entries" (Hashtbl.length group_plan_cache);
+        Trace.note trace "plan_cache_hits" (Trace.Int !gp_hits);
+        Trace.note trace "plan_cache_misses" (Trace.Int !gp_misses);
+        r)
   in
   let solution_groups =
     match gga_result with
@@ -435,7 +491,6 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
       graphs'.invocations
   in
   let groups = List.map launches_of_gid ordered_gids |> List.filter (fun g -> g <> []) in
-  let codegen0 = Codegen.transform ~options:config.codegen_options device prog' ~groups in
   (* post-codegen verification gate: passes 1-3 of [Kft_verify] over every
      emitted kernel plus translation validation of each fused group
      against the (post-fission) source program. Advisory mode records the
@@ -443,12 +498,32 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
      diagnostic -- its group is split back into singletons and code
      generation re-runs, mirroring the codegen's own fallback for
      infeasible groups. *)
-  let validate cg =
-    match config.verify_mode with
-    | Verify_off -> Verify.empty_report
-    | Verify_advisory | Verify_fatal ->
-        Verify.validate ~options:config.codegen_options ~source:prog' cg
+  let codegen_run groups =
+    Trace.with_span trace "codegen" (fun () ->
+        let cg = Codegen.transform ~options:config.codegen_options device prog' ~groups in
+        Trace.add trace "kernels" (List.length cg.Codegen.reports);
+        Trace.add trace "fused"
+          (List.length
+             (List.filter
+                (fun (r : Codegen.kernel_report) -> r.fusion_kind <> `None)
+                cg.Codegen.reports));
+        cg)
   in
+  let validate cg =
+    Trace.with_span trace "verify" (fun () ->
+        let vr =
+          match config.verify_mode with
+          | Verify_off -> Verify.empty_report
+          | Verify_advisory | Verify_fatal ->
+              Verify.validate ~options:config.codegen_options ~source:prog' cg
+        in
+        List.iter (fun (p, n) -> Trace.add trace p n) (Verify.pass_counts vr);
+        Trace.add trace "launches_checked" vr.Verify.stats.launches_checked;
+        Trace.add trace "bounds_proved" vr.Verify.stats.bounds_proved;
+        Trace.add trace "bounds_fallback" vr.Verify.stats.bounds_fallback;
+        vr)
+  in
+  let codegen0 = codegen_run groups in
   let rec gate attempts groups (cg : Codegen.result) (vr : Verify.report) rejected =
     if config.verify_mode <> Verify_fatal || Verify.is_clean vr || attempts <= 0 then
       (cg, vr, rejected)
@@ -488,19 +563,23 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
                     (String.concat "," r.members) ))
               flagged_reports
         in
-        let cg' = Codegen.transform ~options:config.codegen_options device prog' ~groups:groups' in
+        let cg' = codegen_run groups' in
         gate (attempts - 1) groups' cg' (validate cg') rejected'
       end
     end
   in
   let codegen, verify_report, rejected_groups = gate 4 groups codegen0 (validate codegen0) [] in
   let transformed = codegen.program in
-  let transformed_run = Meta.profile ?cache ?engine ~seed:config.seed device transformed in
+  let transformed_run =
+    Trace.with_span trace "profile-transformed" (fun () ->
+        Meta.profile ?cache ?engine ?trace ~seed:config.seed device transformed)
+  in
   (* both programs are now cached, so output verification costs two cache
      hits rather than two fresh simulations *)
   let verified =
-    Meta.verify ?cache ?engine ~seed:config.seed ~tol:config.verify_tolerance device
-      ~original:prog ~transformed
+    Trace.with_span trace "output-verify" (fun () ->
+        Meta.verify ?cache ?engine ?trace ~seed:config.seed ~tol:config.verify_tolerance device
+          ~original:prog ~transformed)
   in
   (* lint the emitted program; the measured per-kernel traffic from the
      profile run feeds the footprint-drift cross-check *)
@@ -517,7 +596,12 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
         Hashtbl.replace tbl p.kernel (cur +. b))
       transformed_run.profiles;
     let measured = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
-    Kft_absint.Lint.program ~measured transformed
+    Trace.with_span trace "lint" (fun () ->
+        let fs = Kft_absint.Lint.program ~measured transformed in
+        List.iter (fun (rule, n) -> Trace.add trace rule n) (Kft_absint.Lint.rule_counts fs);
+        Trace.add trace "warnings" (Kft_absint.Lint.warnings fs);
+        Trace.add trace "infos" (Kft_absint.Lint.infos fs);
+        fs)
   in
   let sim_cache_stats =
     match (cache, cache_stats_before) with
@@ -531,6 +615,24 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
           }
     | _ -> None
   in
+  (match sim_cache_stats with
+  | Some st ->
+      Trace.add trace "sim_cache_hits" st.Kft_engine.Engine.Cache.hits;
+      Trace.add trace "sim_cache_misses" st.Kft_engine.Engine.Cache.misses
+  | None -> ());
+  (match engine with
+  | Some e ->
+      let ps = Kft_engine.Engine.pool_stats e in
+      Trace.note trace "jobs" (Trace.Int ps.Kft_engine.Engine.Pool.st_jobs);
+      Trace.note trace "workers" (Trace.Int ps.Kft_engine.Engine.Pool.st_workers);
+      Trace.note trace "batches" (Trace.Int ps.Kft_engine.Engine.Pool.st_batches);
+      Trace.note trace "batch_items" (Trace.Int ps.Kft_engine.Engine.Pool.st_items);
+      Trace.note trace "max_queue" (Trace.Int ps.Kft_engine.Engine.Pool.st_max_queue);
+      Trace.note trace "worker_tasks"
+        (Trace.Str
+           (String.concat ","
+              (List.map string_of_int ps.Kft_engine.Engine.Pool.st_worker_tasks)))
+  | None -> ());
   {
     baseline;
     metadata = meta;
@@ -550,6 +652,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine prog =
     rejected_groups;
     new_graphs = Ddg.build transformed;
     sim_cache_stats;
+    trace;
   }
 
 let stage_report r =
@@ -651,4 +754,10 @@ let stage_report r =
     (match r.verified with
     | Ok () -> "OK"
     | Error diffs -> Printf.sprintf "FAILED on %d arrays" (List.length diffs));
+  (match r.trace with
+  | None -> ()
+  | Some t ->
+      p "";
+      p "== trace ==";
+      Buffer.add_string buf (Trace.render_tree t));
   Buffer.contents buf

@@ -92,10 +92,14 @@ type report = {
       (** profile-cache hits/misses attributable to this transform ([size]
           is the cache's total entry count afterwards); [None] when
           [config.sim_cache] is [None] *)
+  trace : Kft_trace.Trace.t option;
+      (** the trace handed to {!transform}, echoed back so callers can
+          render it next to the report; [None] when tracing was off *)
 }
 
 val transform :
   ?config:config -> ?hooks:hooks -> ?engine:Kft_engine.Engine.t ->
+  ?trace:Kft_trace.Trace.t ->
   Kft_cuda.Ast.program -> report
 (** Run the full pipeline. The transformed program's output is verified
     against the original on the simulator (the paper verified every
@@ -112,7 +116,16 @@ val transform :
     simulated memory — and therefore the whole transformation — are
     bit-identical at any worker count. Defaults to sequential evaluation
     with the memo cache enabled. A caller-supplied engine is not shut
-    down. *)
+    down.
+
+    [trace] records the pipeline under deterministic stage spans
+    ([gather], [ddg], [filter], [fission], [search], [codegen],
+    [verify], [profile-transformed], [output-verify], [lint]) with
+    per-stage counters; jobs-dependent quantities (plan-cache hit/miss
+    split, engine pool statistics) are recorded as side-channel notes
+    only, so {!Kft_trace.Trace.render_json} stays byte-identical at any
+    worker count. The [stage_report] appends the rendered tree when the
+    report carries a trace. *)
 
 val classify_invocation :
   filter_mode -> Kft_metadata.Metadata.t -> Kft_cuda.Ast.program ->

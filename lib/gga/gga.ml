@@ -110,6 +110,7 @@ type result = {
 }
 
 module Engine = Kft_engine.Engine
+module Trace = Kft_trace.Trace
 
 (* genotype: groups of unit names + set of fissioned kernels *)
 type genome = { g_groups : string list list; g_fissioned : string list }
@@ -403,7 +404,7 @@ let mutate rng tbl genome =
 (* Main loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(on_generation = fun _ _ -> ()) ?engine params problem =
+let run ?(on_generation = fun _ _ -> ()) ?engine ?trace params problem =
   (* when the caller supplies no engine, run sequentially with the memo
      cache on; the caller's engine is never shut down here *)
   let owned = match engine with None -> Some (Engine.create ~jobs:1 ()) | Some _ -> None in
@@ -479,7 +480,26 @@ let run ?(on_generation = fun _ _ -> ()) ?engine params problem =
         if i = 0 then { g_groups = List.map (fun u -> [ u ]) unit_names; g_fissioned = [] }
         else { g_groups = random_partition rng unit_names; g_fissioned = [] })
   in
-  let scored = ref (eval_batch initial) in
+  let scored = ref [] in
+  (* one span per generation (gen:0 is the initial scoring). Evaluation
+     deltas and population fitness stats are deterministic at any worker
+     count: de-duplication happens in the coordinator before submission,
+     and the search itself is bit-identical (see DESIGN.md 3d). *)
+  let traced_generation idx f =
+    let r0 = !requested and c0 = !computed in
+    Trace.with_span trace (Printf.sprintf "gen:%d" idx) (fun () ->
+        f ();
+        Trace.add trace "requested" (!requested - r0);
+        Trace.add trace "computed" (!computed - c0);
+        if trace <> None then begin
+          let fs = List.map (fun (s, _) -> s.fitness) !scored in
+          let n = float_of_int (max 1 (List.length fs)) in
+          Trace.set trace "fit_best" (Trace.Float (List.fold_left Float.max neg_infinity fs));
+          Trace.set trace "fit_min" (Trace.Float (List.fold_left Float.min infinity fs));
+          Trace.set trace "fit_mean" (Trace.Float (List.fold_left ( +. ) 0.0 fs /. n))
+        end)
+  in
+  traced_generation 0 (fun () -> scored := eval_batch initial);
   let best = ref (fst (List.hd !scored)) in
   List.iter (fun (s, _) -> if s.fitness > !best.fitness then best := s) !scored;
   let history = ref [ (0, !best.fitness) ] in
@@ -495,38 +515,39 @@ let run ?(on_generation = fun _ _ -> ()) ?engine params problem =
     go (params.tournament - 1) (pick ())
   in
   for gen = 1 to params.generations do
-    let pop = Array.of_list !scored in
-    Array.sort (fun (a, _) (b, _) -> compare b.fitness a.fitness) pop;
-    let elite =
-      Array.to_list (Array.sub pop 0 (min params.elitism (Array.length pop)))
-    in
-    (* the whole generation is bred in the coordinator domain (all RNG
-       draws happen here, in a fixed order), then scored as one batch *)
-    let offspring = ref [] in
-    for _ = 1 to params.population - List.length elite do
-      let _, ga = tournament pop in
-      let child =
-        if Random.State.float rng 1.0 < params.crossover_rate then begin
-          let _, gb = tournament pop in
-          crossover rng ga gb
-        end
-        else ga
-      in
-      let child =
-        if Random.State.float rng 1.0 < params.mutation_rate then mutate rng tbl child else child
-      in
-      offspring := child :: !offspring
-    done;
-    let children = eval_batch (List.rev !offspring) in
-    scored := elite @ children;
-    List.iter
-      (fun (s, _) ->
-        if s.fitness > !best.fitness then begin
-          best := s;
-          history := (gen, s.fitness) :: !history
-        end)
-      !scored;
-    on_generation gen !best
+    traced_generation gen (fun () ->
+        let pop = Array.of_list !scored in
+        Array.sort (fun (a, _) (b, _) -> compare b.fitness a.fitness) pop;
+        let elite =
+          Array.to_list (Array.sub pop 0 (min params.elitism (Array.length pop)))
+        in
+        (* the whole generation is bred in the coordinator domain (all RNG
+           draws happen here, in a fixed order), then scored as one batch *)
+        let offspring = ref [] in
+        for _ = 1 to params.population - List.length elite do
+          let _, ga = tournament pop in
+          let child =
+            if Random.State.float rng 1.0 < params.crossover_rate then begin
+              let _, gb = tournament pop in
+              crossover rng ga gb
+            end
+            else ga
+          in
+          let child =
+            if Random.State.float rng 1.0 < params.mutation_rate then mutate rng tbl child else child
+          in
+          offspring := child :: !offspring
+        done;
+        let children = eval_batch (List.rev !offspring) in
+        scored := elite @ children;
+        List.iter
+          (fun (s, _) ->
+            if s.fitness > !best.fitness then begin
+              best := s;
+              history := (gen, s.fitness) :: !history
+            end)
+          !scored;
+        on_generation gen !best)
   done;
   let final = !best.fitness in
   let converged_at =

@@ -91,6 +91,7 @@ type result = {
 val run :
   ?on_generation:(int -> solution -> unit) ->
   ?engine:Kft_engine.Engine.t ->
+  ?trace:Kft_trace.Trace.t ->
   params -> problem -> result
 (** Deterministic for a fixed [params.seed]: each generation is bred
     entirely in the calling (coordinator) domain — every RNG draw happens
@@ -100,6 +101,11 @@ val run :
     making fitness a pure function of the canonical key, so the memo
     cache is transparent: [best]/[history]/[evaluations]/[fission_events]
     are bit-identical across [jobs] ∈ {1, 2, 4, ...} and cache on/off.
+
+    [trace] records one [gen:<n>] span per generation ([gen:0] is the
+    initial scoring) with evaluation-batch counters and population
+    fitness stats — all deterministic, so they live in the trace's
+    canonical channel.
 
     [engine] defaults to a private sequential engine with the memo cache
     enabled. A caller-supplied engine is not shut down by this function

@@ -102,26 +102,33 @@ let copy_run (r : Kft_sim.Profiler.run) =
     memory = Kft_sim.Memory.copy r.memory;
   }
 
-let profile ?cache ?engine ?(seed = 42) device prog =
+let profile ?cache ?engine ?trace ?(seed = 42) device prog =
+  (* cache attribution is per profiled program: hit/miss counters are a
+     pure function of the call sequence, so they stay in the canonical
+     trace channel (byte-stable given a fresh cache per run) *)
+  Kft_trace.Trace.with_span trace ("profile:" ^ prog.p_name) @@ fun () ->
   match cache with
-  | None -> Kft_sim.Profiler.profile ?engine ~seed device prog
+  | None -> Kft_sim.Profiler.profile ?engine ?trace ~seed device prog
   | Some c -> (
       let key = Sim_cache.key ~seed device prog in
       match Sim_cache.Cache.find c key with
-      | Some run -> copy_run run
+      | Some run ->
+          Kft_trace.Trace.add trace "sim_cache_hits" 1;
+          copy_run run
       | None ->
-          let run = Kft_sim.Profiler.profile ?engine ~seed device prog in
+          Kft_trace.Trace.add trace "sim_cache_misses" 1;
+          let run = Kft_sim.Profiler.profile ?engine ?trace ~seed device prog in
           (* the cache holds a private copy: callers are free to mutate
              the run they got back without corrupting future hits *)
           Sim_cache.Cache.add c key (copy_run run);
           run)
 
-let verify ?cache ?engine ?(seed = 42) ?(tol = 1e-9) device ~original ~transformed =
+let verify ?cache ?engine ?trace ?(seed = 42) ?(tol = 1e-9) device ~original ~transformed =
   match cache with
-  | None -> Kft_sim.Profiler.verify ?engine ~seed ~tol device ~original ~transformed
+  | None -> Kft_sim.Profiler.verify ?engine ?trace ~seed ~tol device ~original ~transformed
   | Some _ ->
-      let m1 = (profile ?cache ?engine ~seed device original).Kft_sim.Profiler.memory in
-      let m2 = (profile ?cache ?engine ~seed device transformed).Kft_sim.Profiler.memory in
+      let m1 = (profile ?cache ?engine ?trace ~seed device original).Kft_sim.Profiler.memory in
+      let m2 = (profile ?cache ?engine ?trace ~seed device transformed).Kft_sim.Profiler.memory in
       let diffs =
         List.filter
           (fun (n, d) -> Kft_sim.Memory.mem m1 n && Kft_sim.Memory.mem m2 n && d > tol)
@@ -129,8 +136,8 @@ let verify ?cache ?engine ?(seed = 42) ?(tol = 1e-9) device ~original ~transform
       in
       if diffs = [] then Ok () else Error diffs
 
-let gather ?cache ?engine ?(seed = 42) device prog =
-  let run = profile ?cache ?engine ~seed device prog in
+let gather ?cache ?engine ?trace ?(seed = 42) device prog =
+  let run = profile ?cache ?engine ?trace ~seed device prog in
   (* map: host array -> kernels touching it *)
   let array_users : (string, string list) Hashtbl.t = Hashtbl.create 32 in
   List.iter

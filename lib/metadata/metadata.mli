@@ -72,14 +72,14 @@ module Sim_cache : sig
 end
 
 val profile :
-  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?seed:int ->
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> Kft_sim.Profiler.run
 (** {!Kft_sim.Profiler.profile} through the cache: a hit replays the
     stored run (deep-copied) instead of re-simulating; a miss simulates —
     block-parallel when [engine] is given — and stores a private copy. *)
 
 val verify :
-  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?seed:int -> ?tol:float ->
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?trace:Kft_trace.Trace.t -> ?seed:int -> ?tol:float ->
   Kft_device.Device.t ->
   original:Kft_cuda.Ast.program -> transformed:Kft_cuda.Ast.program ->
   (unit, (string * float) list) result
@@ -89,7 +89,7 @@ val verify :
     simulations. *)
 
 val gather :
-  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?seed:int ->
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> t * Kft_sim.Profiler.run
 (** The metadata-gathering stage: one instrumented run on the simulated
     device plus static analysis of every kernel. [cache] memoizes the

@@ -1,5 +1,6 @@
 open Kft_cuda.Ast
 module Engine = Kft_engine.Engine
+module Trace = Kft_trace.Trace
 
 type stats = {
   mutable global_read_bytes : int;
@@ -1108,7 +1109,8 @@ let usage_to_host (kernel : kernel) args (read_params, write_params) =
    jobs setting. Kernels with cross-block write overlap are undefined
    behaviour in CUDA itself; for those the sequential path keeps the
    last-writer-in-block-order result while parallel chunks may differ. *)
-let launch_ext ?engine ?(affine = true) mem prog (l : launch) =
+let launch_ext ?engine ?(affine = true) ?trace mem prog (l : launch) =
+  Trace.with_span trace ("launch:" ^ l.l_kernel) @@ fun () ->
   let kernel = find_kernel prog l.l_kernel in
   let bound = bind_args kernel l.l_args in
   let bx, by, bz = l.l_block in
@@ -1249,15 +1251,23 @@ let launch_ext ?engine ?(affine = true) mem prog (l : launch) =
       stats.threads_active <- stats.threads_active + b.threads_active)
     per_block;
   let reads = List.concat_map fst usages and writes = List.concat_map snd usages in
+  (* per-launch trace record: block/byte totals are pure functions of the
+     launch (canonical channel); the chunk split varies with the worker
+     count and stays in the side channel *)
+  Trace.add trace "blocks" blocks;
+  Trace.add trace "threads" stats.threads_launched;
+  Trace.add trace "read_bytes" stats.global_read_bytes;
+  Trace.add trace "write_bytes" stats.global_write_bytes;
+  Trace.note trace "chunks" (Trace.Int nchunks);
   (stats, usage_to_host kernel l.l_args (List.sort_uniq compare reads, List.sort_uniq compare writes))
 
-let launch ?engine ?affine mem prog l = fst (launch_ext ?engine ?affine mem prog l)
+let launch ?engine ?affine ?trace mem prog l = fst (launch_ext ?engine ?affine ?trace mem prog l)
 
 let launch_with_usage = launch_ext
 
-let run_schedule ?engine ?affine mem prog =
+let run_schedule ?engine ?affine ?trace mem prog =
   List.filter_map
     (function
-      | Launch l -> Some (l, launch ?engine ?affine mem prog l)
+      | Launch l -> Some (l, launch ?engine ?affine ?trace mem prog l)
       | Copy_to_device _ | Copy_to_host _ -> None)
     prog.p_schedule

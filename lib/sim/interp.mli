@@ -54,7 +54,7 @@ val access_trace : (write:bool -> string -> int -> unit) option ref
     from worker domains otherwise). Reset to [None] after use. *)
 
 val launch :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
   Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> stats
 (** Execute one kernel launch against device memory, returning its
     execution statistics.
@@ -71,10 +71,15 @@ val launch :
 
     [affine] (default [true]) enables {!Affine} strength reduction of
     index expressions before compilation; it is observation-preserving
-    (same values, same stats), only faster. *)
+    (same values, same stats), only faster.
+
+    [trace] records one [launch:<kernel>] span per call with block,
+    thread and read/write byte totals in the canonical channel, and the
+    block-chunk split in the side channel (see {!Kft_trace.Trace}). The
+    trace is only touched from the calling (coordinator) domain. *)
 
 val launch_with_usage :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
   Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch ->
   stats * (string list * string list)
 (** Like {!launch}, additionally returning the host arrays the launch
@@ -84,7 +89,7 @@ val launch_with_usage :
     validate the static dependence analysis against. *)
 
 val run_schedule :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
   Memory.t -> Kft_cuda.Ast.program -> (Kft_cuda.Ast.launch * stats) list
 (** Execute every [Launch] of the program's schedule in order ([Copy_*]
     markers are no-ops for the simulator: memory is unified). *)

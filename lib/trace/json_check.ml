@@ -1,0 +1,149 @@
+(* Minimal strict JSON syntax checker (RFC 8259 grammar, no semantic
+   interpretation). The repo emits JSON from three hand-rolled printers
+   (lint, trace, bench); this validates their output without adding a
+   JSON library dependency. *)
+
+exception Bad of { pos : int; message : string }
+
+type st = { text : string; mutable pos : int }
+
+let fail st message = raise (Bad { pos = st.pos; message })
+
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st (Printf.sprintf "expected %C, got %C" c d)
+  | None -> fail st (Printf.sprintf "expected %C, got end of input" c)
+
+let literal st word =
+  let n = String.length word in
+  if st.pos + n <= String.length st.text && String.sub st.text st.pos n = word then
+    st.pos <- st.pos + n
+  else fail st ("expected literal " ^ word)
+
+let string_ st =
+  expect st '"';
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance st;
+            go ()
+        | Some 'u' ->
+            advance st;
+            for _ = 1 to 4 do
+              match peek st with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance st
+              | _ -> fail st "bad \\u escape"
+            done;
+            go ()
+        | _ -> fail st "bad escape")
+    | Some c when Char.code c < 0x20 -> fail st "unescaped control character"
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let number st =
+  let digit () =
+    match peek st with
+    | Some ('0' .. '9') ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let digits what = if not (digit ()) then fail st ("expected digit in " ^ what) else while digit () do () done in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  (match peek st with
+  | Some '0' -> advance st
+  | Some ('1' .. '9') -> digits "int"
+  | _ -> fail st "expected digit");
+  (match peek st with
+  | Some '.' ->
+      advance st;
+      digits "fraction"
+  | _ -> ());
+  match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      digits "exponent"
+  | _ -> ()
+
+let rec value st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> string_ st
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then advance st
+      else begin
+        let rec members () =
+          skip_ws st;
+          string_ st;
+          skip_ws st;
+          expect st ':';
+          value st;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ()
+          | _ -> expect st '}'
+        in
+        members ()
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then advance st
+      else begin
+        let rec elements () =
+          value st;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements ()
+          | _ -> expect st ']'
+        in
+        elements ()
+      end
+  | Some 't' -> literal st "true"
+  | Some 'f' -> literal st "false"
+  | Some 'n' -> literal st "null"
+  | Some ('-' | '0' .. '9') -> number st
+  | Some c -> fail st (Printf.sprintf "unexpected %C" c)
+  | None -> fail st "unexpected end of input"
+
+let check text =
+  let st = { text; pos = 0 } in
+  match
+    value st;
+    skip_ws st;
+    if st.pos <> String.length text then fail st "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad { pos; message } -> Error (Printf.sprintf "invalid JSON at byte %d: %s" pos message)
+
+let is_valid text = check text = Ok ()

@@ -1,0 +1,240 @@
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+type span = {
+  sp_id : int;  (** logical sequence number: assigned in open order *)
+  sp_name : string;
+  mutable sp_counters : (string * int) list;  (** reversed first-use order *)
+  mutable sp_args : (string * value) list;  (** reversed first-set order *)
+  mutable sp_notes : (string * value) list;  (** side channel *)
+  mutable sp_children : span list;  (** reversed open order *)
+  sp_t0 : float;
+  mutable sp_t1 : float;
+}
+
+type t = {
+  tr_clock : unit -> float;
+  tr_root : span;
+  mutable tr_stack : span list;  (** open spans, innermost first; never empty *)
+  mutable tr_next : int;
+}
+
+let create ?(clock = Unix.gettimeofday) name =
+  let t0 = clock () in
+  let root =
+    {
+      sp_id = 0;
+      sp_name = name;
+      sp_counters = [];
+      sp_args = [];
+      sp_notes = [];
+      sp_children = [];
+      sp_t0 = t0;
+      sp_t1 = t0;
+    }
+  in
+  { tr_clock = clock; tr_root = root; tr_stack = [ root ]; tr_next = 1 }
+
+let name t = t.tr_root.sp_name
+
+let current t = match t.tr_stack with s :: _ -> s | [] -> t.tr_root
+
+let with_span opt name f =
+  match opt with
+  | None -> f ()
+  | Some t ->
+      let parent = current t in
+      let sp =
+        {
+          sp_id = t.tr_next;
+          sp_name = name;
+          sp_counters = [];
+          sp_args = [];
+          sp_notes = [];
+          sp_children = [];
+          sp_t0 = t.tr_clock ();
+          sp_t1 = 0.0;
+        }
+      in
+      t.tr_next <- t.tr_next + 1;
+      parent.sp_children <- sp :: parent.sp_children;
+      t.tr_stack <- sp :: t.tr_stack;
+      Fun.protect
+        ~finally:(fun () ->
+          sp.sp_t1 <- t.tr_clock ();
+          (match t.tr_stack with
+          | top :: rest when top == sp -> t.tr_stack <- rest
+          | _ -> () (* unbalanced close: keep the trace usable *)))
+        f
+
+(* assoc update preserving first-use order (lists are kept reversed and
+   reversed once at render time) *)
+let bump assoc key n =
+  let rec go acc = function
+    | [] -> (key, n) :: assoc
+    | (k, v) :: rest when k = key -> List.rev_append acc ((k, v + n) :: rest)
+    | kv :: rest -> go (kv :: acc) rest
+  in
+  go [] assoc
+
+let put assoc key v =
+  let rec go acc = function
+    | [] -> (key, v) :: assoc
+    | (k, _) :: rest when k = key -> List.rev_append acc ((k, v) :: rest)
+    | kv :: rest -> go (kv :: acc) rest
+  in
+  go [] assoc
+
+let add opt key n =
+  match opt with
+  | None -> ()
+  | Some t ->
+      let sp = current t in
+      sp.sp_counters <- bump sp.sp_counters key n
+
+let set opt key v =
+  match opt with
+  | None -> ()
+  | Some t ->
+      let sp = current t in
+      sp.sp_args <- put sp.sp_args key v
+
+let note opt key v =
+  match opt with
+  | None -> ()
+  | Some t ->
+      let sp = current t in
+      sp.sp_notes <- put sp.sp_notes key v
+
+(* a span that was never closed (the root, or an unbalanced open) ends
+   when its last descendant does *)
+let rec span_end sp =
+  let own = Float.max sp.sp_t0 sp.sp_t1 in
+  if sp.sp_t1 > sp.sp_t0 then own
+  else List.fold_left (fun acc c -> Float.max acc (span_end c)) own sp.sp_children
+
+let wall sp = Float.max 0.0 (span_end sp -. sp.sp_t0)
+
+let top_spans t =
+  List.rev_map (fun sp -> (sp.sp_name, wall sp)) t.tr_root.sp_children
+
+let counters t name =
+  let acc = ref [] in
+  let rec walk sp =
+    if sp.sp_name = name then
+      List.iter (fun (k, v) -> acc := bump !acc k v) (List.rev sp.sp_counters);
+    List.iter walk (List.rev sp.sp_children)
+  in
+  walk t.tr_root;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips every double and prints the same digits for the
+   same bits, so floats in the canonical channel stay byte-stable *)
+let value_text = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | Bool b -> string_of_bool b
+  | Str s -> s
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "\"%.17g\"" f
+  | Bool b -> string_of_bool b
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let render_tree t =
+  let b = Buffer.create 2048 in
+  let fields sp =
+    let cs =
+      List.rev_map (fun (k, v) -> Printf.sprintf "%s=%d" k v) sp.sp_counters
+    in
+    let args = List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k (value_text v)) sp.sp_args in
+    let notes =
+      List.rev_map (fun (k, v) -> Printf.sprintf "%s~%s" k (value_text v)) sp.sp_notes
+    in
+    match cs @ args @ notes with
+    | [] -> ""
+    | fs -> "  [" ^ String.concat " " fs ^ "]"
+  in
+  let rec walk ~root prefix last sp =
+    let branch, child_prefix =
+      if root then ("", "")
+      else if last then (prefix ^ "`- ", prefix ^ "   ")
+      else (prefix ^ "|- ", prefix ^ "|  ")
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%s%s%s  %.1f ms\n" branch sp.sp_name (fields sp) (1000.0 *. wall sp));
+    let children = List.rev sp.sp_children in
+    let n = List.length children in
+    List.iteri (fun i c -> walk ~root:false child_prefix (i = n - 1) c) children
+  in
+  walk ~root:true "" true t.tr_root;
+  Buffer.contents b
+
+let render_json t =
+  let b = Buffer.create 4096 in
+  let obj kvs = "{" ^ String.concat "," kvs ^ "}" in
+  let rec span sp =
+    let counters =
+      obj (List.rev_map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) sp.sp_counters)
+    in
+    let args =
+      obj
+        (List.rev_map
+           (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_json v))
+           sp.sp_args)
+    in
+    Printf.sprintf "{\"seq\":%d,\"name\":\"%s\",\"counters\":%s,\"args\":%s,\"children\":[%s]}"
+      sp.sp_id (json_escape sp.sp_name) counters args
+      (String.concat "," (List.rev_map span sp.sp_children))
+  in
+  Buffer.add_string b "{\"tool\":\"kft-trace\",\"version\":1,\"root\":";
+  Buffer.add_string b (span t.tr_root);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let render_chrome t =
+  let b = Buffer.create 4096 in
+  let t0 = t.tr_root.sp_t0 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let rec walk sp =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    let args =
+      List.rev_map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) sp.sp_counters
+      @ List.rev_map
+          (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_json v))
+          sp.sp_args
+      @ List.rev_map
+          (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_json v))
+          sp.sp_notes
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "\n {\"name\":\"%s\",\"cat\":\"kft\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+         (json_escape sp.sp_name)
+         (1e6 *. (sp.sp_t0 -. t0))
+         (1e6 *. wall sp)
+         (String.concat "," args));
+    List.iter walk (List.rev sp.sp_children)
+  in
+  walk t.tr_root;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

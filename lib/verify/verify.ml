@@ -51,6 +51,15 @@ let empty_stats =
   }
 let empty_report = { diagnostics = []; stats = empty_stats; complete = true }
 
+(* per-pass finding counts in a fixed pass order (trace counters and the
+   @trace sweep consume this; the fixed order keeps it byte-stable) *)
+let pass_counts r =
+  List.map
+    (fun p ->
+      ( pass_name p,
+        List.length (List.filter (fun (d : diagnostic) -> d.d_pass = p) r.diagnostics) ))
+    [ Race; Barrier; Bounds; Translation; Engine ]
+
 (* Diagnostics are kept in a canonical order — (kernel, line, col, pass,
    message, statement) — so that merged or parallel-produced reports
    render identically regardless of scheduling ([--jobs] sweeps must be

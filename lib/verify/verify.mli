@@ -82,6 +82,10 @@ type report = {
 
 val empty_report : report
 
+val pass_counts : report -> (string * int) list
+(** Finding count per pass, always all five passes in declaration order
+    — the deterministic per-pass counters the trace layer records. *)
+
 val merge : report -> report -> report
 
 val is_clean : report -> bool
