@@ -496,18 +496,18 @@ let paper () =
 (* ------------------------------------------------------------------ *)
 
 (* one full schedule simulation on freshly seeded memory *)
-let sim_run ?engine ?(affine = true) (p : Kft_cuda.Ast.program) =
+let sim_run ?engine ?(affine = true) ?backend (p : Kft_cuda.Ast.program) =
   let mem = Kft_sim.Memory.create p.p_arrays in
   Kft_sim.Memory.init_seeded mem ~seed:42;
   let t0 = Unix.gettimeofday () in
-  let runs = Kft_sim.Interp.run_schedule ?engine ~affine mem p in
+  let runs = Kft_sim.Interp.run_schedule ?engine ~affine ?backend mem p in
   let wall = Unix.gettimeofday () -. t0 in
   (wall, mem, List.map snd runs)
 
 (* run [sim_run] under a temporary engine when [jobs > 1] *)
-let sim_run_at ~jobs ~affine p =
-  if jobs <= 1 then sim_run ~affine p
-  else Engine.with_engine ~jobs ~memo:false (fun e -> sim_run ~engine:e ~affine p)
+let sim_run_at ~jobs ~affine ?backend p =
+  if jobs <= 1 then sim_run ~affine ?backend p
+  else Engine.with_engine ~jobs ~memo:false (fun e -> sim_run ~engine:e ~affine ?backend p)
 
 (* splice statically decided guards (kft_absint) in every kernel that is
    launched with a single distinct (block, grid, int args) configuration;
@@ -549,15 +549,16 @@ let despliced (p : Kft_cuda.Ast.program) =
   ({ p with p_kernels = kernels }, !eliminated)
 
 let sim () =
-  print_endline "== simulator throughput: interpret / compiled-affine / block-parallel ==";
-  Printf.printf "   (block-parallel at jobs=%d; this host reports %d core(s))\n%!" !jobs
+  print_endline
+    "== simulator throughput: interpret / compiled-affine / block-parallel / vectorized / auto ==";
+  Printf.printf "   (parallel configs at jobs=%d; this host reports %d core(s))\n%!" !jobs
     (Domain.recommended_domain_count ());
   let repeats = 2 in
-  let time ~jobs ~affine p =
+  let time ~jobs ~affine ?backend p =
     (* best-of-N wall time; memory and stats are identical across repeats *)
     let best = ref infinity and result = ref None in
     for _ = 1 to repeats do
-      let wall, mem, stats = sim_run_at ~jobs ~affine p in
+      let wall, mem, stats = sim_run_at ~jobs ~affine ?backend p in
       if wall < !best then best := wall;
       result := Some (mem, stats)
     done;
@@ -587,12 +588,18 @@ let sim () =
       let threads = float_of_int (total_threads ref_stats) in
       let cells = float_of_int (total_cells p) in
       let configs =
-        [ ("interpret", 1, false); ("compiled-affine", 1, true); ("block-parallel", !jobs, true) ]
+        [
+          ("interpret", 1, false, None);
+          ("compiled-affine", 1, true, None);
+          ("block-parallel", !jobs, true, None);
+          ("vectorized", 1, true, Some Kft_sim.Interp.Vector);
+          ("auto", !jobs, true, Some Kft_sim.Interp.Auto);
+        ]
       in
       let walls =
         List.map
-          (fun (cname, jobs, affine) ->
-            let wall, _, _ = time ~jobs ~affine p in
+          (fun (cname, jobs, affine, backend) ->
+            let wall, _, _ = time ~jobs ~affine ?backend p in
             (cname, wall))
           configs
       in
@@ -602,18 +609,48 @@ let sim () =
           Printf.printf "%-13s %-16s %7.3f %11.2f %9.2f %8.2fx\n%!" name cname wall
             (threads /. wall /. 1e6) (cells /. wall /. 1e6) (base /. wall))
         walls;
-      (* bit-identity: every (jobs, affine) setting must reproduce the
-         sequential interpreter's memory and stats exactly *)
+      (* the adaptive dispatcher must never lose noticeably to the best
+         fixed backend on any app (>5% counts as a dispatch bug) *)
+      (let auto_w = List.assoc "auto" walls in
+       let best_fixed =
+         List.fold_left min infinity
+           (List.filter_map
+              (fun (c, w) -> if c = "auto" then None else Some w)
+              walls)
+       in
+       if auto_w > best_fixed *. 1.05 then
+         Printf.eprintf
+           "[bench] sim: WARNING: auto on %s is %.0f%% slower than the best fixed backend\n%!"
+           name
+           (100.0 *. ((auto_w /. best_fixed) -. 1.0)));
+      (* bit-identity: every (jobs, affine, backend) setting must
+         reproduce the sequential reference interpreter's memory and
+         stats exactly *)
       List.iter
-        (fun (jobs, affine) ->
-          let _, m, s = sim_run_at ~jobs ~affine p in
+        (fun (jobs, affine, backend) ->
+          let _, m, s = sim_run_at ~jobs ~affine ?backend p in
           if not (Kft_sim.Memory.equal_within ~tol:0.0 ref_mem m && ref_stats = s) then begin
             Printf.eprintf
-              "[bench] sim: %s diverged from sequential at jobs=%d affine=%b\n%!" name jobs
-              affine;
+              "[bench] sim: %s diverged from sequential at jobs=%d affine=%b backend=%s\n%!"
+              name jobs affine
+              (match backend with
+              | Some b -> Kft_sim.Interp.backend_name b
+              | None -> "-");
             exit 1
           end)
-        [ (1, true); (2, false); (2, true); (4, false); (4, true) ];
+        [
+          (1, true, None);
+          (2, false, None);
+          (2, true, None);
+          (4, false, None);
+          (4, true, None);
+          (1, true, Some Kft_sim.Interp.Vector);
+          (2, true, Some Kft_sim.Interp.Vector);
+          (4, true, Some Kft_sim.Interp.Vector);
+          (1, true, Some Kft_sim.Interp.Auto);
+          (4, true, Some Kft_sim.Interp.Auto);
+          (1, true, Some Kft_sim.Interp.Interpret);
+        ];
       let fields =
         List.map
           (fun (cname, wall) ->
@@ -629,7 +666,7 @@ let sim () =
           (String.concat ",\n" fields)
         :: !json_apps)
     all_app_names;
-  print_endline "  bit-identity across jobs in {1,2,4} x affine in {on,off}: ok";
+  print_endline "  bit-identity across jobs in {1,2,4} x backends {interp,affine,vector,auto}: ok";
   (* guard elimination (kft_absint): wall-time effect of splicing
      provably-true guards, with bit-identity asserted before/after and
      across the jobs sweep on the spliced program *)
@@ -763,19 +800,31 @@ let smoke () =
       Budget40 `Filtered;
       Budget40 `None_;
     ];
-  (* block-parallel determinism guard: sequential vs jobs=2 simulation of
-     the quickstart program must agree bit-for-bit (runs under `dune
+  (* backend determinism guard: every execution backend, sequential and
+     parallel, must reproduce the sequential reference interpreter's
+     memory and stats bit-for-bit on every bundled app (runs under `dune
      runtest` via the alias rule in bench/dune) *)
-  let q = Apps.quickstart () in
-  let _, m_seq, s_seq = sim_run_at ~jobs:1 ~affine:false q.program in
-  let _, m_par, s_par = sim_run_at ~jobs:2 ~affine:true q.program in
-  if not (Kft_sim.Memory.equal_within ~tol:0.0 m_seq m_par && s_seq = s_par) then begin
-    Printf.eprintf
-      "[bench] smoke: sequential and block-parallel (jobs=2) simulation diverged on quickstart\n%!";
-    exit 1
-  end;
-  Printf.printf "  %-22s %-12s bit-identical to sequential\n%!" "block-parallel@jobs=2"
-    "quickstart";
+  List.iter
+    (fun (prog_name, (p : Kft_cuda.Ast.program)) ->
+      let _, m_seq, s_seq = sim_run_at ~jobs:1 ~affine:false p in
+      List.iter
+        (fun (label, jobs, affine, backend) ->
+          let _, m, st = sim_run_at ~jobs ~affine ?backend p in
+          if not (Kft_sim.Memory.equal_within ~tol:0.0 m_seq m && s_seq = st) then begin
+            Printf.eprintf "[bench] smoke: %s diverged from sequential on %s\n%!" label
+              prog_name;
+            exit 1
+          end)
+        [
+          ("block-parallel@jobs=2", 2, true, None);
+          ("vectorized@jobs=1", 1, true, Some Kft_sim.Interp.Vector);
+          ("vectorized@jobs=4", 4, true, Some Kft_sim.Interp.Vector);
+          ("auto@jobs=4", 4, true, Some Kft_sim.Interp.Auto);
+          ("interp@jobs=4", 4, false, Some Kft_sim.Interp.Interpret);
+        ])
+    (("quickstart", (Apps.quickstart ()).program)
+    :: List.map (fun n -> (n, (app n).program)) all_app_names);
+  Printf.printf "  %-22s %-12s bit-identical to sequential\n%!" "all-backends" "all apps";
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

@@ -160,12 +160,19 @@ let list_apps () =
 
 let transform_run app_name device_name generations population jobs no_memo no_sim_cache
     no_fission no_tuning expert_codegen filter verify seed out_dir emit_cuda quiet list
-    trace_file chrome_file =
+    trace_file chrome_file backend_name =
   if list then begin
     list_apps ();
     `Ok ()
   end
   else
+    match Kft_sim.Interp.backend_of_string backend_name with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown backend %S (expected auto, interp, affine or vector)"
+              backend_name )
+    | Some backend -> (
     match Kft_apps.Apps.by_name app_name with
     | None ->
         `Error (false, Printf.sprintf "unknown application %S (try --list)" app_name)
@@ -212,6 +219,7 @@ let transform_run app_name device_name generations population jobs no_memo no_si
                     fission_enabled = not no_fission;
                     seed;
                   };
+                backend;
               }
             in
             let trace =
@@ -271,7 +279,7 @@ let transform_run app_name device_name generations population jobs no_memo no_si
                 `Error
                   ( false,
                     Printf.sprintf "output verification failed on %d arrays"
-                      (List.length diffs) )))
+                      (List.length diffs) ))))
 
 let transform_cmd =
   let app_arg =
@@ -323,12 +331,15 @@ let transform_cmd =
   let chrome_file =
     Arg.(value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE" ~doc:"Write the pipeline trace in Chrome trace_event format; load it in about:tracing or Perfetto.")
   in
+  let backend_name =
+    Arg.(value & opt string "auto" & info [ "backend" ] ~docv:"auto|interp|affine|vector" ~doc:"Simulator execution backend for every pipeline run. All backends produce bit-identical results; $(b,auto) picks the whole-grid vectorized backend for launches the abstract interpreter proves eligible and falls back to the affine lockstep interpreter otherwise.")
+  in
   let term =
     Term.ret
       Term.(
         const transform_run $ app_arg $ device $ generations $ population $ jobs $ no_memo
         $ no_sim_cache $ no_fission $ no_tuning $ expert $ filter $ verify $ seed $ out_dir
-        $ emit_cuda $ quiet $ list $ trace_file $ chrome_file)
+        $ emit_cuda $ quiet $ list $ trace_file $ chrome_file $ backend_name)
   in
   Cmd.v
     (Cmd.info "kft-transform" ~version:"1.0.0"

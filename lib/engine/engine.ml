@@ -5,7 +5,44 @@ let now () = Unix.gettimeofday ()
 (* ------------------------------------------------------------------ *)
 
 module Pool = struct
-  type task = Task of (unit -> unit) | Quit
+  (* Two-list functional deque: [front] holds elements in pop order,
+     [back] holds elements most-recently-pushed first. Owner operations
+     ([push_back] at submission, [pop_front] by the owning worker) are
+     O(1); a steal ([pop_back]) is amortized O(1). Always used under the
+     pool mutex, so no per-deque synchronization. *)
+  module Deque = struct
+    type 'a t = { mutable front : 'a list; mutable back : 'a list }
+
+    let create () = { front = []; back = [] }
+    let length d = List.length d.front + List.length d.back
+    let push_back d x = d.back <- x :: d.back
+
+    let pop_front d =
+      match d.front with
+      | x :: rest ->
+          d.front <- rest;
+          Some x
+      | [] -> (
+          match List.rev d.back with
+          | [] -> None
+          | x :: rest ->
+              d.back <- [];
+              d.front <- rest;
+              Some x)
+
+    let pop_back d =
+      match d.back with
+      | x :: rest ->
+          d.back <- rest;
+          Some x
+      | [] -> (
+          match List.rev d.front with
+          | [] -> None
+          | x :: rest ->
+              d.front <- [];
+              d.back <- rest;
+              Some x)
+  end
 
   type stats = {
     st_jobs : int;
@@ -13,26 +50,32 @@ module Pool = struct
     st_batches : int;
     st_items : int;
     st_max_queue : int;
+    st_steals : int;
     st_worker_tasks : int list;
   }
 
   type t = {
     jobs : int;  (** requested evaluation width *)
-    workers : int;  (** domains actually spawned: capped at the core count *)
+    workers : int;  (** domains spawned on first use: capped at the core count *)
+    mutable spawned : bool;
     mutable domains : unit Domain.t list;
-    queue : task Queue.t;
+    deques : (unit -> unit) Deque.t array;  (** one per worker *)
+    mutable next_deque : int;  (** round-robin submission cursor *)
     m : Mutex.t;
     nonempty : Condition.t;
     mutable shut : bool;
     (* instrumentation (trace side channel): batches/items count [map]
-       calls and their submission sizes; [max_queue] is the deepest queue
-       observed at submission; [worker_tasks.(i)] counts tasks executed
-       by worker [i] (slot 0 doubles as the inline/sequential path). Each
-       slot is written by exactly one domain and read only after the
-       batch's completion handshake, so the reads are quiescent. *)
+       calls and their submission sizes; [max_queue] is the deepest total
+       across the per-worker deques observed at submission; [steals]
+       counts tasks a worker took from another worker's deque;
+       [worker_tasks.(i)] counts tasks executed by worker [i] (slot 0
+       doubles as the inline/sequential path). Each worker_tasks slot is
+       written by exactly one domain and read only after the batch's
+       completion handshake, so the reads are quiescent. *)
     mutable batches : int;
     mutable items : int;
     mutable max_queue : int;
+    mutable steals : int;
     worker_tasks : int array;
   }
 
@@ -46,19 +89,52 @@ module Pool = struct
       st_batches = t.batches;
       st_items = t.items;
       st_max_queue = t.max_queue;
+      st_steals = t.steals;
       st_worker_tasks = Array.to_list t.worker_tasks;
     }
 
+  (* Take the next task for worker [i]: the worker's own deque first
+     (front, FIFO — preserves submission locality), then a round-robin
+     scan of the other workers' deques starting at [i+1], stealing from
+     the back (the opposite end from the victim's own pops, the classic
+     work-stealing discipline — here it only reduces contention on the
+     shared list spines, since everything runs under the pool mutex).
+     Must be called with the mutex held. Determinism is unaffected: a
+     steal only changes {e which domain} runs a task, and [map] reduces
+     results by submission index. *)
+  let try_take pool i =
+    match Deque.pop_front pool.deques.(i) with
+    | Some _ as t -> t
+    | None ->
+        let w = Array.length pool.deques in
+        let rec scan k =
+          if k >= w then None
+          else
+            match Deque.pop_back pool.deques.((i + k) mod w) with
+            | Some _ as t ->
+                pool.steals <- pool.steals + 1;
+                t
+            | None -> scan (k + 1)
+        in
+        scan 1
+
   let rec worker pool i =
     Mutex.lock pool.m;
-    while Queue.is_empty pool.queue && not pool.shut do
-      Condition.wait pool.nonempty pool.m
-    done;
-    let task = if Queue.is_empty pool.queue then Quit else Queue.pop pool.queue in
+    let rec next () =
+      match try_take pool i with
+      | Some _ as t -> t
+      | None ->
+          if pool.shut then None
+          else begin
+            Condition.wait pool.nonempty pool.m;
+            next ()
+          end
+    in
+    let task = next () in
     Mutex.unlock pool.m;
     match task with
-    | Quit -> ()
-    | Task f ->
+    | None -> ()
+    | Some f ->
         f ();
         pool.worker_tasks.(i) <- pool.worker_tasks.(i) + 1;
         worker pool i
@@ -70,24 +146,35 @@ module Pool = struct
        extra throughput.  The determinism contract (results reduced in
        submission index order) makes the cap observationally invisible. *)
     let workers = min jobs (Domain.recommended_domain_count ()) in
-    let pool =
-      {
-        jobs;
-        workers;
-        domains = [];
-        queue = Queue.create ();
-        m = Mutex.create ();
-        nonempty = Condition.create ();
-        shut = false;
-        batches = 0;
-        items = 0;
-        max_queue = 0;
-        worker_tasks = Array.make workers 0;
-      }
-    in
-    if jobs > 1 then
-      pool.domains <- List.init workers (fun i -> Domain.spawn (fun () -> worker pool i));
-    pool
+    {
+      jobs;
+      workers;
+      spawned = false;
+      domains = [];
+        deques = Array.init workers (fun _ -> Deque.create ());
+      next_deque = 0;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      shut = false;
+      batches = 0;
+      items = 0;
+      max_queue = 0;
+      steals = 0;
+      worker_tasks = Array.make workers 0;
+    }
+
+  (* Worker domains are spawned lazily on the first parallel [map]: even
+     an idle extra domain taxes the whole process (every minor GC is a
+     stop-the-world rendezvous across all domains), so an engine whose
+     launches all take the adaptive serial fallback must cost nothing.
+     Called with the pool mutex held, from the single [map] coordinator;
+     the fresh workers block on that same mutex until submission
+     completes and then find their deques already dealt. *)
+  let ensure_spawned pool =
+    if not pool.spawned then begin
+      pool.spawned <- true;
+      pool.domains <- List.init pool.workers (fun i -> Domain.spawn (fun () -> worker pool i))
+    end
 
   let shutdown pool =
     let join_these =
@@ -138,13 +225,19 @@ module Pool = struct
         in
         pool.batches <- pool.batches + 1;
         pool.items <- pool.items + n;
+        (* deal chunks round-robin across the per-worker deques: an even
+           initial split keeps most pops local, and the cursor persists
+           across batches so short batches don't always land on worker 0 *)
         Mutex.protect pool.m (fun () ->
+            ensure_spawned pool;
             for c = 0 to n_chunks - 1 do
               let lo = c * chunk_size in
               let hi = min (n - 1) (lo + chunk_size - 1) in
-              Queue.add (Task (task lo hi)) pool.queue
+              Deque.push_back pool.deques.(pool.next_deque) (task lo hi);
+              pool.next_deque <- (pool.next_deque + 1) mod Array.length pool.deques
             done;
-            pool.max_queue <- max pool.max_queue (Queue.length pool.queue);
+            let depth = Array.fold_left (fun acc d -> acc + Deque.length d) 0 pool.deques in
+            pool.max_queue <- max pool.max_queue depth;
             Condition.broadcast pool.nonempty);
         Mutex.lock done_m;
         while !remaining > 0 do

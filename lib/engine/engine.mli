@@ -31,7 +31,13 @@ module Pool : sig
     st_workers : int;
     st_batches : int;  (** {!map} calls submitted over the pool's lifetime *)
     st_items : int;  (** total items across those batches *)
-    st_max_queue : int;  (** deepest task queue observed at submission *)
+    st_max_queue : int;
+        (** deepest total across the per-worker deques observed at
+            submission *)
+    st_steals : int;
+        (** tasks a worker took from another worker's deque after
+            draining its own. Scheduling-dependent — trace side-channel
+            data only. *)
     st_worker_tasks : int list;
         (** tasks executed per worker, in worker index order (slot 0 also
             counts the inline sequential path). The split across workers
@@ -39,27 +45,38 @@ module Pool : sig
   }
 
   val create : jobs:int -> t
-  (** [jobs] is the evaluation width: [jobs > 1] spawns worker domains
-      (the coordinator blocks during {!map}); [jobs <= 1] spawns none and
-      {!map} degenerates to [List.map]. The number of domains actually
-      spawned is capped at [Domain.recommended_domain_count ()] —
-      oversubscribing cores only adds stop-the-world GC coordination, and
-      the determinism contract makes the cap observationally invisible.
-      {!jobs} always reports the requested width. *)
+  (** [jobs] is the evaluation width: with [jobs > 1], worker domains
+      are spawned lazily on the first parallel {!map} (the coordinator
+      blocks during {!map}); [jobs <= 1] never spawns and {!map}
+      degenerates to [List.map]. Lazy spawning matters because even an
+      idle domain taxes the whole process — every minor GC is a
+      stop-the-world rendezvous across all domains — so a pool whose
+      clients always take their serial fallback costs nothing. The
+      number of domains spawned is capped at
+      [Domain.recommended_domain_count ()] — oversubscribing cores only
+      adds GC coordination, and the determinism contract makes the cap
+      observationally invisible. {!jobs} always reports the requested
+      width. *)
 
   val jobs : t -> int
 
   val workers : t -> int
-  (** Domains actually spawned: [min jobs (recommended_domain_count)].
-      Lets callers scale work-splitting to real parallelism instead of
-      the requested width. *)
+  (** Domains the pool will use: [min jobs (recommended_domain_count)]
+      (spawned on first parallel {!map}). Lets callers scale
+      work-splitting to real parallelism instead of the requested
+      width. *)
 
   val map : t -> ('a -> 'b) -> 'a list -> 'b list
-  (** Deterministic parallel map: results are reduced in submission index
-      order. If one or more applications raise, every task still runs to
-      completion (the pool stays reusable) and the exception of the
-      {e lowest submission index} is re-raised in the caller. Raises
-      [Invalid_argument] after {!shutdown}. *)
+  (** Deterministic parallel map with work stealing: contiguous chunks
+      of the input are dealt round-robin onto per-worker deques; a
+      worker that drains its own deque steals from the back of another's
+      (see {!stats}[.st_steals]). Stealing only moves work between
+      domains — results are reduced in submission index order, so the
+      returned list is bit-identical at any [jobs] setting. If one or
+      more applications raise, every task still runs to completion (the
+      pool stays reusable) and the exception of the {e lowest submission
+      index} is re-raised in the caller. Raises [Invalid_argument] after
+      {!shutdown}. *)
 
   val shutdown : t -> unit
   (** Join all worker domains. Idempotent. *)

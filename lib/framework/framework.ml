@@ -24,6 +24,7 @@ type config = {
   seed : int;
   verify_tolerance : float;
   sim_cache : Meta.Sim_cache.t option;
+  backend : Kft_sim.Interp.backend;
 }
 
 let default_config =
@@ -36,6 +37,9 @@ let default_config =
     seed = 42;
     verify_tolerance = 1e-9;
     sim_cache = Some Kft_metadata.Metadata.Sim_cache.global;
+    (* Auto is safe as the default precisely because backends are
+       bit-identical: it can only change how fast stage 1 runs *)
+    backend = Kft_sim.Interp.Auto;
   }
 
 type hooks = {
@@ -77,6 +81,7 @@ type report = {
   rejected_groups : (string * string) list;
   new_graphs : Ddg.t;
   sim_cache_stats : Kft_engine.Engine.Cache.stats option;
+  backends : (string * string) list;
   trace : Trace.t option;
 }
 
@@ -151,13 +156,14 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
            (String.concat "\n" (List.map Kft_cuda.Check.pp_error errs))));
   let device = config.device in
   let cache = config.sim_cache in
+  let backend = config.backend in
   let cache_stats_before = Option.map Meta.Sim_cache.stats cache in
   (* stage 1: metadata (simulation runs go through the profile cache, so
      re-transforming a program — or verifying against it later — replays
      the stored run instead of re-simulating) *)
   let meta, baseline =
     Trace.with_span trace "gather" (fun () ->
-        let meta, baseline = Meta.gather ?cache ?engine ?trace ~seed:config.seed device prog in
+        let meta, baseline = Meta.gather ?cache ?engine ~backend ?trace ~seed:config.seed device prog in
         Trace.add trace "kernels" (List.length meta.Meta.performance);
         (meta, baseline))
   in
@@ -212,7 +218,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
         in
         let meta_fissioned =
           Option.map
-            (fun p -> fst (Meta.gather ?cache ?engine ?trace ~seed:config.seed device p))
+            (fun p -> fst (Meta.gather ?cache ?engine ~backend ?trace ~seed:config.seed device p))
             prog_fissioned
         in
         Trace.add trace "plans" (List.length fission_plans);
@@ -572,14 +578,14 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
   let transformed = codegen.program in
   let transformed_run =
     Trace.with_span trace "profile-transformed" (fun () ->
-        Meta.profile ?cache ?engine ?trace ~seed:config.seed device transformed)
+        Meta.profile ?cache ?engine ~backend ?trace ~seed:config.seed device transformed)
   in
   (* both programs are now cached, so output verification costs two cache
      hits rather than two fresh simulations *)
   let verified =
     Trace.with_span trace "output-verify" (fun () ->
-        Meta.verify ?cache ?engine ?trace ~seed:config.seed ~tol:config.verify_tolerance device
-          ~original:prog ~transformed)
+        Meta.verify ?cache ?engine ~backend ?trace ~seed:config.seed
+          ~tol:config.verify_tolerance device ~original:prog ~transformed)
   in
   (* lint the emitted program; the measured per-kernel traffic from the
      profile run feeds the footprint-drift cross-check *)
@@ -620,6 +626,21 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
       Trace.add trace "sim_cache_hits" st.Kft_engine.Engine.Cache.hits;
       Trace.add trace "sim_cache_misses" st.Kft_engine.Engine.Cache.misses
   | None -> ());
+  (* which concrete backend each baseline launch executes on under this
+     config — a pure re-query of the (static) selection, for the stage
+     report *)
+  let backends =
+    List.fold_left
+      (fun acc sched ->
+        match sched with
+        | Launch l when not (List.mem_assoc l.l_kernel acc) ->
+            ( l.l_kernel,
+              Kft_sim.Interp.backend_name (Kft_sim.Interp.selected_backend ~backend prog l) )
+            :: acc
+        | _ -> acc)
+      [] prog.p_schedule
+    |> List.rev
+  in
   (match engine with
   | Some e ->
       let ps = Kft_engine.Engine.pool_stats e in
@@ -628,6 +649,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
       Trace.note trace "batches" (Trace.Int ps.Kft_engine.Engine.Pool.st_batches);
       Trace.note trace "batch_items" (Trace.Int ps.Kft_engine.Engine.Pool.st_items);
       Trace.note trace "max_queue" (Trace.Int ps.Kft_engine.Engine.Pool.st_max_queue);
+      Trace.note trace "steals" (Trace.Int ps.Kft_engine.Engine.Pool.st_steals);
       Trace.note trace "worker_tasks"
         (Trace.Str
            (String.concat ","
@@ -652,6 +674,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
     rejected_groups;
     new_graphs = Ddg.build transformed;
     sim_cache_stats;
+    backends;
     trace;
   }
 
@@ -661,6 +684,9 @@ let stage_report r =
   p "== stage 1: metadata ==";
   p "kernels profiled: %d, baseline modeled time: %.1f us" (List.length r.metadata.performance)
     r.baseline.total_time_us;
+  if r.backends <> [] then
+    p "  execution backends: %s"
+      (String.concat ", " (List.map (fun (k, b) -> k ^ ":" ^ b) r.backends));
   (match r.sim_cache_stats with
   | Some s ->
       p "  profile cache: %d hits, %d misses this run (%d cached simulations)"

@@ -36,12 +36,17 @@ type config = {
       (** profile cache for every simulation the pipeline performs
           (gathering, the fissioned-variant run, the transformed run and
           output verification); [None] disables caching *)
+  backend : Kft_sim.Interp.backend;
+      (** simulator execution backend for those runs. Backends are
+          bit-identical, so this only affects pipeline wall time; the
+          default is {!Kft_sim.Interp.Auto}. *)
 }
 
 val default_config : config
 (** K20X, the paper's GGA defaults, automated codegen, automated
-    filtering, advisory static verification, and the process-wide
-    {!Kft_metadata.Metadata.Sim_cache.global} profile cache. *)
+    filtering, advisory static verification, the process-wide
+    {!Kft_metadata.Metadata.Sim_cache.global} profile cache and the
+    {!Kft_sim.Interp.Auto} execution backend. *)
 
 type hooks = {
   amend_metadata : Kft_metadata.Metadata.t -> Kft_metadata.Metadata.t;
@@ -92,6 +97,9 @@ type report = {
       (** profile-cache hits/misses attributable to this transform ([size]
           is the cache's total entry count afterwards); [None] when
           [config.sim_cache] is [None] *)
+  backends : (string * string) list;
+      (** (kernel, executed backend name) per distinct baseline launch
+          kernel, under [config.backend] — part of the stage report *)
   trace : Kft_trace.Trace.t option;
       (** the trace handed to {!transform}, echoed back so callers can
           render it next to the report; [None] when tracing was off *)

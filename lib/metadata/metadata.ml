@@ -72,7 +72,19 @@ let touched_host_arrays prog (l : launch) =
 module Sim_cache = struct
   module Cache = Kft_engine.Engine.Cache
 
-  type t = Kft_sim.Profiler.run Cache.t
+  (* A cached run holds the final memory as a packed {!Kft_sim.Memory}
+     snapshot rather than a live hashtable of arrays: replaying a hit is
+     then one contiguous [Array.blit] per array (Memory.restore) plus
+     fresh stats records — the fast path Sim_cache replays were paying
+     hashtable-copy overhead for. Profiles are stored with private stats
+     so neither the cache nor any replay aliases a caller's counters. *)
+  type entry = {
+    e_profiles : Kft_sim.Profiler.kernel_profile list;
+    e_total_us : float;
+    e_memory : Kft_sim.Memory.snapshot;
+  }
+
+  type t = entry Cache.t
 
   let create () : t = Cache.create ()
 
@@ -86,49 +98,61 @@ module Sim_cache = struct
      marshalled (program, seed, device) triple keys "the same simulation":
      the program carries every kernel AST and the full launch schedule
      (grid/block configs and argument bindings), [seed] fixes the initial
-     memory image, and the device fixes the timing model. *)
+     memory image, and the device fixes the timing model. The execution
+     backend is deliberately not part of the key: all backends are
+     bit-identical, so a profile produced under one backend is a valid
+     hit for any other. *)
   let key ~seed device (prog : program) =
     Digest.to_hex (Digest.string (Marshal.to_string (prog, seed, device) []))
+
+  let copy_profiles ps =
+    List.map
+      (fun (p : Kft_sim.Profiler.kernel_profile) ->
+        { p with Kft_sim.Profiler.stats = Kft_sim.Interp.copy_stats p.stats })
+      ps
+
+  let entry_of_run (r : Kft_sim.Profiler.run) =
+    {
+      e_profiles = copy_profiles r.Kft_sim.Profiler.profiles;
+      e_total_us = r.Kft_sim.Profiler.total_time_us;
+      e_memory = Kft_sim.Memory.snapshot r.Kft_sim.Profiler.memory;
+    }
+
+  let run_of_entry e : Kft_sim.Profiler.run =
+    {
+      Kft_sim.Profiler.profiles = copy_profiles e.e_profiles;
+      total_time_us = e.e_total_us;
+      memory = Kft_sim.Memory.restore e.e_memory;
+    }
 end
 
-let copy_run (r : Kft_sim.Profiler.run) =
-  {
-    r with
-    Kft_sim.Profiler.profiles =
-      List.map
-        (fun (p : Kft_sim.Profiler.kernel_profile) ->
-          { p with Kft_sim.Profiler.stats = Kft_sim.Interp.copy_stats p.stats })
-        r.profiles;
-    memory = Kft_sim.Memory.copy r.memory;
-  }
-
-let profile ?cache ?engine ?trace ?(seed = 42) device prog =
+let profile ?cache ?engine ?backend ?trace ?(seed = 42) device prog =
   (* cache attribution is per profiled program: hit/miss counters are a
      pure function of the call sequence, so they stay in the canonical
      trace channel (byte-stable given a fresh cache per run) *)
   Kft_trace.Trace.with_span trace ("profile:" ^ prog.p_name) @@ fun () ->
   match cache with
-  | None -> Kft_sim.Profiler.profile ?engine ?trace ~seed device prog
+  | None -> Kft_sim.Profiler.profile ?engine ?backend ?trace ~seed device prog
   | Some c -> (
       let key = Sim_cache.key ~seed device prog in
       match Sim_cache.Cache.find c key with
-      | Some run ->
+      | Some entry ->
           Kft_trace.Trace.add trace "sim_cache_hits" 1;
-          copy_run run
+          Sim_cache.run_of_entry entry
       | None ->
           Kft_trace.Trace.add trace "sim_cache_misses" 1;
-          let run = Kft_sim.Profiler.profile ?engine ?trace ~seed device prog in
-          (* the cache holds a private copy: callers are free to mutate
-             the run they got back without corrupting future hits *)
-          Sim_cache.Cache.add c key (copy_run run);
+          let run = Kft_sim.Profiler.profile ?engine ?backend ?trace ~seed device prog in
+          (* the cache holds a private snapshot: callers are free to
+             mutate the run they got back without corrupting future hits *)
+          Sim_cache.Cache.add c key (Sim_cache.entry_of_run run);
           run)
 
-let verify ?cache ?engine ?trace ?(seed = 42) ?(tol = 1e-9) device ~original ~transformed =
+let verify ?cache ?engine ?backend ?trace ?(seed = 42) ?(tol = 1e-9) device ~original ~transformed =
   match cache with
-  | None -> Kft_sim.Profiler.verify ?engine ?trace ~seed ~tol device ~original ~transformed
+  | None -> Kft_sim.Profiler.verify ?engine ?backend ?trace ~seed ~tol device ~original ~transformed
   | Some _ ->
-      let m1 = (profile ?cache ?engine ?trace ~seed device original).Kft_sim.Profiler.memory in
-      let m2 = (profile ?cache ?engine ?trace ~seed device transformed).Kft_sim.Profiler.memory in
+      let m1 = (profile ?cache ?engine ?backend ?trace ~seed device original).Kft_sim.Profiler.memory in
+      let m2 = (profile ?cache ?engine ?backend ?trace ~seed device transformed).Kft_sim.Profiler.memory in
       let diffs =
         List.filter
           (fun (n, d) -> Kft_sim.Memory.mem m1 n && Kft_sim.Memory.mem m2 n && d > tol)
@@ -136,8 +160,8 @@ let verify ?cache ?engine ?trace ?(seed = 42) ?(tol = 1e-9) device ~original ~tr
       in
       if diffs = [] then Ok () else Error diffs
 
-let gather ?cache ?engine ?trace ?(seed = 42) device prog =
-  let run = profile ?cache ?engine ?trace ~seed device prog in
+let gather ?cache ?engine ?backend ?trace ?(seed = 42) device prog =
+  let run = profile ?cache ?engine ?backend ?trace ~seed device prog in
   (* map: host array -> kernels touching it *)
   let array_users : (string, string list) Hashtbl.t = Hashtbl.create 32 in
   List.iter

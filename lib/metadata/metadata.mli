@@ -53,9 +53,13 @@ module Sim_cache : sig
   (** Keyed profile cache: each distinct simulation — keyed by the digest
       of the marshalled (program, seed, device) triple, which covers the
       canonicalized kernel ASTs, the grid/block configuration of every
-      launch and the memory seed — runs at most once per cache. Hits
-      return deep copies (fresh memory and stats records), so a replayed
-      profile is bit-identical to the original run and mutation-safe. *)
+      launch and the memory seed — runs at most once per cache. The
+      execution backend is deliberately excluded from the key: backends
+      are bit-identical, so one profile serves them all. Entries hold
+      the final memory as a packed {!Kft_sim.Memory.snapshot}; a hit
+      replays via [Array.blit] restore plus fresh stats records, so a
+      replayed profile is bit-identical to the original run and
+      mutation-safe. *)
 
   type t
 
@@ -72,14 +76,17 @@ module Sim_cache : sig
 end
 
 val profile :
-  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t ->
+  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> Kft_sim.Profiler.run
 (** {!Kft_sim.Profiler.profile} through the cache: a hit replays the
-    stored run (deep-copied) instead of re-simulating; a miss simulates —
-    block-parallel when [engine] is given — and stores a private copy. *)
+    stored run (snapshot-restored) instead of re-simulating; a miss
+    simulates — block-parallel when [engine] is given, on [backend] when
+    given — and stores a private snapshot. *)
 
 val verify :
-  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?trace:Kft_trace.Trace.t -> ?seed:int -> ?tol:float ->
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t ->
+  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t -> ?seed:int -> ?tol:float ->
   Kft_device.Device.t ->
   original:Kft_cuda.Ast.program -> transformed:Kft_cuda.Ast.program ->
   (unit, (string * float) list) result
@@ -89,7 +96,8 @@ val verify :
     simulations. *)
 
 val gather :
-  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
+  ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t ->
+  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> t * Kft_sim.Profiler.run
 (** The metadata-gathering stage: one instrumented run on the simulated
     device plus static analysis of every kernel. [cache] memoizes the

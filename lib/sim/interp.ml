@@ -2,7 +2,12 @@ open Kft_cuda.Ast
 module Engine = Kft_engine.Engine
 module Trace = Kft_trace.Trace
 
-type stats = {
+(* The stats record, binding environment, type inference and static
+   expression analyses are shared with the vectorized backend (module
+   [Simc]) and re-exported here with type equations so existing users of
+   [Interp.stats] etc. are unaffected. *)
+
+type stats = Simc.stats = {
   mutable global_read_bytes : int;
   mutable global_write_bytes : int;
   mutable flops : float;
@@ -15,47 +20,12 @@ type stats = {
   blocks_launched : int;
 }
 
-let divergence_fraction s =
-  if s.warp_cond_evals = 0 then 0.0
-  else float_of_int s.divergent_warp_cond_evals /. float_of_int s.warp_cond_evals
+let divergence_fraction = Simc.divergence_fraction
+let copy_stats = Simc.copy_stats
+let zero_stats = Simc.zero_stats
+let diff_stats = Simc.diff_stats
 
-let copy_stats s = { s with global_read_bytes = s.global_read_bytes }
-
-let zero_stats ~shared_bytes_per_block ~blocks_launched =
-  {
-    global_read_bytes = 0;
-    global_write_bytes = 0;
-    flops = 0.0;
-    warp_cond_evals = 0;
-    divergent_warp_cond_evals = 0;
-    shared_hazards = 0;
-    threads_launched = 0;
-    threads_active = 0;
-    shared_bytes_per_block;
-    blocks_launched;
-  }
-
-(* Per-block counter deltas against a snapshot taken at block entry. All
-   flop addends are [float_of_int] of static counts, so every partial sum
-   is an exactly-represented integer and the subtraction is exact: the
-   per-block deltas re-summed in block order reproduce the sequential
-   accumulator bit for bit. *)
-let diff_stats cur base =
-  {
-    global_read_bytes = cur.global_read_bytes - base.global_read_bytes;
-    global_write_bytes = cur.global_write_bytes - base.global_write_bytes;
-    flops = cur.flops -. base.flops;
-    warp_cond_evals = cur.warp_cond_evals - base.warp_cond_evals;
-    divergent_warp_cond_evals =
-      cur.divergent_warp_cond_evals - base.divergent_warp_cond_evals;
-    shared_hazards = cur.shared_hazards - base.shared_hazards;
-    threads_launched = 0;
-    threads_active = cur.threads_active - base.threads_active;
-    shared_bytes_per_block = cur.shared_bytes_per_block;
-    blocks_launched = 1;
-  }
-
-exception Sim_error of { kernel : string; message : string }
+exception Sim_error = Simc.Sim_error
 
 exception Thread_exit
 
@@ -63,7 +33,7 @@ exception Thread_exit
 (* Compilation environment                                             *)
 (* ------------------------------------------------------------------ *)
 
-type binding =
+type binding = Simc.binding =
   | Const_int of int
   | Const_float of float
   | Int_slot of int
@@ -110,61 +80,17 @@ let err st msg = raise (Sim_error { kernel = st.kernel_name; message = msg })
    Used by the absint footprint-soundness property tests. *)
 let access_trace : (write:bool -> string -> int -> unit) option ref = ref None
 
-let usage_flag tbl name =
-  match Hashtbl.find_opt tbl name with
-  | Some r -> r
-  | None ->
-      let r = ref false in
-      Hashtbl.replace tbl name r;
-      r
+let usage_flag = Simc.usage_flag
 
 (* ------------------------------------------------------------------ *)
-(* Type inference over the subset                                      *)
+(* Type inference over the subset (shared with the vector backend)     *)
 (* ------------------------------------------------------------------ *)
 
-type ety = EInt | EFloat
+type ety = Simc.ety = EInt | EFloat
 
-let join a b = match (a, b) with EInt, EInt -> EInt | _ -> EFloat
-
-let rec ty_of lookup e =
-  match e with
-  | Int_lit _ -> EInt
-  | Double_lit _ -> EFloat
-  | Builtin _ -> EInt
-  | Var v -> (
-      match lookup v with
-      | Const_int _ | Int_slot _ -> EInt
-      | Const_float _ | Float_slot _ -> EFloat
-      | Global _ | Shared _ -> EFloat)
-  | Binop ((Add | Sub | Mul | Div | Mod), a, b) -> join (ty_of lookup a) (ty_of lookup b)
-  | Binop (_, _, _) -> EInt
-  | Unop (Not, _) -> EInt
-  | Unop (Neg, a) -> ty_of lookup a
-  | Index _ -> EFloat
-  | Call (("min" | "max" | "abs"), args) ->
-      List.fold_left (fun acc a -> join acc (ty_of lookup a)) EInt args
-  | Call _ -> EFloat
-  | Ternary (_, a, b) -> join (ty_of lookup a) (ty_of lookup b)
-
-(* static flop count of an expression (arithmetic on any operands;
-   integer index arithmetic is excluded by construction because we only
-   charge flops for float-typed subtrees) *)
-let rec float_flops lookup e =
-  match ty_of lookup e with
-  | EInt -> 0
-  | EFloat -> (
-      match e with
-      | Int_lit _ | Double_lit _ | Var _ | Builtin _ | Index _ -> 0
-      | Binop ((Add | Sub | Mul | Div | Mod), a, b) ->
-          1 + float_flops lookup a + float_flops lookup b
-      | Binop (_, a, b) -> float_flops lookup a + float_flops lookup b
-      | Unop (_, a) -> float_flops lookup a
-      | Call ("fma", args) -> 2 + List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
-      | Call (("sqrt" | "exp" | "log" | "pow" | "sin" | "cos"), args) ->
-          4 + List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
-      | Call (_, args) -> List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
-      | Ternary (c, a, b) ->
-          float_flops lookup c + max (float_flops lookup a) (float_flops lookup b))
+let join = Simc.join
+let ty_of = Simc.ty_of
+let float_flops = Simc.float_flops
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
@@ -183,55 +109,9 @@ let shared_addr st dims idx_fns name t =
   in
   go dims idx_fns 0
 
-(* Left-leaning [+]/[-] chains, leftmost term first. [a + b - c] yields
-   [(true, a); (true, b); (false, c)]: the sign belongs to the term, and
-   since IEEE subtraction is addition of the negated operand, folding the
-   sign into the leaf closure is bit-exact. *)
-let rec sum_terms e acc =
-  match e with
-  | Binop (Add, l, r) -> sum_terms l ((true, r) :: acc)
-  | Binop (Sub, l, r) -> sum_terms l ((false, r) :: acc)
-  | _ -> (true, e) :: acc
-
-(* compile-time integer constants: literals, bound scalar parameters and
-   non-trapping arithmetic over them (Div/Mod are left to the runtime so
-   a division by zero still raises per-thread, as the reference does) *)
-let rec static_int lookup e =
-  match e with
-  | Int_lit i -> Some i
-  | Var v -> ( match lookup v with Const_int i -> Some i | _ -> None)
-  | Binop (op, a, b) -> (
-      match (static_int lookup a, static_int lookup b) with
-      | Some x, Some y -> (
-          match op with
-          | Add -> Some (x + y)
-          | Sub -> Some (x - y)
-          | Mul -> Some (x * y)
-          | Div | Mod -> None
-          | Lt -> Some (if x < y then 1 else 0)
-          | Le -> Some (if x <= y then 1 else 0)
-          | Gt -> Some (if x > y then 1 else 0)
-          | Ge -> Some (if x >= y then 1 else 0)
-          | Eq -> Some (if x = y then 1 else 0)
-          | Ne -> Some (if x <> y then 1 else 0)
-          | And -> Some (if x <> 0 && y <> 0 then 1 else 0)
-          | Or -> Some (if x <> 0 || y <> 0 then 1 else 0))
-      | _ -> None)
-  | Unop (Neg, a) -> Option.map (fun x -> -x) (static_int lookup a)
-  | Unop (Not, a) -> Option.map (fun x -> if x = 0 then 1 else 0) (static_int lookup a)
-  | _ -> None
-
-(* compile-time float constants (literals and bound scalar parameters) *)
-let const_float_of lookup e =
-  match e with
-  | Double_lit f -> Some f
-  | Int_lit i -> Some (float_of_int i)
-  | Var v -> (
-      match lookup v with
-      | Const_float f -> Some f
-      | Const_int i -> Some (float_of_int i)
-      | _ -> None)
-  | _ -> None
+let sum_terms = Simc.sum_terms
+let static_int = Simc.static_int
+let const_float_of = Simc.const_float_of
 
 let rec compile_int st lookup e : int -> int =
   match (if st.fast then static_int lookup e else None) with
@@ -608,47 +488,14 @@ type cstmt =
 let has_sync stmts =
   fold_stmts (fun acc s -> acc || s = Syncthreads) false stmts
 
-let stmts_read_var v stmts =
-  let found = ref false in
-  ignore
-    (map_exprs_in_stmts
-       (fun e ->
-         (match e with Var x when x = v -> found := true | _ -> ());
-         e)
-       stmts);
-  !found
+let stmts_read_var = Simc.stmts_read_var
 
 (* integer-only, side-effect-free, non-trapping conditions: evaluating
    them once (GLeaf) or twice (Leaf: divergence pass + dispatch) is
    indistinguishable — no stats, no memory traffic, no Sim_error *)
-let rec pure_int_cond lookup e =
-  match e with
-  | Int_lit _ -> true
-  | Builtin (Thread_idx _ | Block_idx _) -> true
-  | Builtin _ -> false
-  | Var v -> ( match lookup v with Const_int _ | Int_slot _ -> true | _ -> false)
-  | Binop ((Div | Mod), _, _) -> false
-  | Binop (_, a, b) -> pure_int_cond lookup a && pure_int_cond lookup b
-  | Unop (_, a) -> pure_int_cond lookup a
-  | Ternary (c, a, b) ->
-      pure_int_cond lookup c && pure_int_cond lookup a && pure_int_cond lookup b
-  | Double_lit _ | Index _ | Call _ -> false
+let pure_int_cond = Simc.pure_int_cond
 
-(* number of global-array reads one evaluation of [e] performs, or
-   [None] when the count is data-dependent (a [Ternary] picks a branch
-   at run time). Shared-memory reads are excluded: they do not touch
-   [global_read_bytes] and keep their per-access hazard accounting. *)
-let static_read_count lookup e =
-  let rec go e =
-    match e with
-    | Index (a, _) -> ( match lookup a with Global _ -> 1 | _ -> 0)
-    | Binop (_, a, b) -> go a + go b
-    | Unop (_, a) -> go a
-    | Call (_, args) -> List.fold_left (fun acc a -> acc + go a) 0 args
-    | Ternary _ -> raise Exit
-    | Int_lit _ | Double_lit _ | Var _ | Builtin _ -> 0
-  in
-  try Some (go e) with Exit -> None
+let static_read_count = Simc.static_read_count
 
 (* compile a statement list into a single per-thread closure (no syncs
    inside, guaranteed by caller) *)
@@ -1043,55 +890,7 @@ and exec_cstmt st c =
 (* Launch                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let collect_scalar_slots kernel_name body params =
-  (* name -> ety, slot index; loop indices and decls *)
-  let table : (string, binding) Hashtbl.t = Hashtbl.create 32 in
-  let int_slots = ref 0 and float_slots = ref 0 in
-  let add_var name ety =
-    match Hashtbl.find_opt table name with
-    | Some (Int_slot _) when ety = EInt -> ()
-    | Some (Float_slot _) when ety = EFloat -> ()
-    | Some _ ->
-        raise
-          (Sim_error
-             {
-               kernel = kernel_name;
-               message = Printf.sprintf "variable %s redeclared with a different type" name;
-             })
-    | None ->
-        let b =
-          match ety with
-          | EInt ->
-              incr int_slots;
-              Int_slot (!int_slots - 1)
-          | EFloat ->
-              incr float_slots;
-              Float_slot (!float_slots - 1)
-        in
-        Hashtbl.replace table name b
-  in
-  ignore params;
-  let shared_slots = ref [] in
-  let rec walk stmts =
-    List.iter
-      (fun s ->
-        match s with
-        | Decl (Int, v, _) | Decl (Bool, v, _) -> add_var v EInt
-        | Decl (Double, v, _) -> add_var v EFloat
-        | Shared_decl (_, n, dims) ->
-            if not (List.mem_assoc n !shared_slots) then
-              shared_slots := !shared_slots @ [ (n, dims) ]
-        | For l ->
-            add_var l.index EInt;
-            walk l.body
-        | If (_, t, e) ->
-            walk t;
-            walk e
-        | Assign _ | Syncthreads | Return -> ())
-      stmts
-  in
-  walk body;
-  (table, !int_slots, !float_slots, !shared_slots)
+let collect_scalar_slots = Simc.collect_scalar_slots
 
 (* the flags are keyed by PARAMETER names; translate to host array names *)
 let usage_to_host (kernel : kernel) args (read_params, write_params) =
@@ -1099,6 +898,39 @@ let usage_to_host (kernel : kernel) args (read_params, write_params) =
   let host p = match List.assoc_opt p binding with Some (Arg_array h) -> Some h | _ -> None in
   let collect params = List.filter_map host params |> List.sort_uniq compare in
   (collect read_params, collect write_params)
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type backend = Auto | Interpret | Affine | Vector
+
+let backend_name = function
+  | Auto -> "auto"
+  | Interpret -> "interp"
+  | Affine -> "affine"
+  | Vector -> "vector"
+
+let backend_of_string = function
+  | "auto" -> Some Auto
+  | "interp" -> Some Interpret
+  | "affine" -> Some Affine
+  | "vector" -> Some Vector
+  | _ -> None
+
+(* the concrete backend a launch will execute on; pure — used by the
+   framework stage report. [Vector] demurs to [Affine] when the launch
+   is outside the vectorizable fragment. *)
+let selected_backend ?(affine = true) ?backend prog l =
+  match backend with
+  | Some (Auto | Vector) -> if Vector.eligible prog l then Vector else Affine
+  | Some Affine -> Affine
+  | Some Interpret -> Interpret
+  | None -> if affine then Affine else Interpret
+
+(* test hook (re-exported from [Simc]): force the chunk count so the
+   ordered-merge path is exercisable on single-core hosts *)
+let chunk_override = Simc.chunk_override
 
 (* Blocks are independent in the executed subset (no inter-block sync or
    atomics; kft_verify additionally proves per-thread write disjointness
@@ -1109,8 +941,39 @@ let usage_to_host (kernel : kernel) args (read_params, write_params) =
    jobs setting. Kernels with cross-block write overlap are undefined
    behaviour in CUDA itself; for those the sequential path keeps the
    last-writer-in-block-order result while parallel chunks may differ. *)
-let launch_ext ?engine ?(affine = true) ?trace mem prog (l : launch) =
+let launch_ext ?engine ?(affine = true) ?backend ?trace mem prog (l : launch) =
   Trace.with_span trace ("launch:" ^ l.l_kernel) @@ fun () ->
+  let resolved =
+    match backend with
+    | Some Interpret -> `Lockstep false
+    | Some Affine -> `Lockstep true
+    | Some (Auto | Vector) -> `Try_vector
+    | None -> `Lockstep affine
+  in
+  let vec =
+    match resolved with
+    | `Try_vector -> Vector.try_run ?engine mem prog l
+    | `Lockstep _ -> None
+  in
+  match vec with
+  | Some (stats, usage, nchunks) ->
+      let kernel = find_kernel prog l.l_kernel in
+      Trace.add trace "blocks" stats.blocks_launched;
+      Trace.add trace "threads" stats.threads_launched;
+      Trace.add trace "read_bytes" stats.global_read_bytes;
+      Trace.add trace "write_bytes" stats.global_write_bytes;
+      (* which backend ran is a pure function of the launch (eligibility
+         is static), so it lives in the canonical channel; the chunk
+         split varies with the worker count and stays a side note *)
+      Trace.set trace "backend" (Trace.Str "vector");
+      Trace.note trace "chunks" (Trace.Int nchunks);
+      (stats, usage_to_host kernel l.l_args usage)
+  | None ->
+  let affine =
+    match resolved with
+    | `Lockstep a -> a
+    | `Try_vector -> true  (* outside the fragment: best lockstep mode *)
+  in
   let kernel = find_kernel prog l.l_kernel in
   let bound = bind_args kernel l.l_args in
   let bx, by, bz = l.l_block in
@@ -1218,15 +1081,11 @@ let launch_ext ?engine ?(affine = true) ?trace mem prog (l : launch) =
   in
   let jobs = match engine with Some e -> Engine.jobs e | None -> 1 in
   let workers = match engine with Some e -> Engine.workers e | None -> 1 in
-  (* each chunk recompiles the kernel against its own register files, so
-     chunks of fewer than ~4 blocks cost more in compilation than they
-     can win back in parallelism: small grids stay sequential. Splitting
-     scales with the domains actually spawned, not the requested width —
-     at least two chunks whenever parallelism was requested, so the
-     ordered-merge path is always exercised. *)
-  let nchunks =
-    if jobs <= 1 then 1 else min (max 2 (workers * 2)) (max 1 (blocks / 4))
-  in
+  (* adaptive serial fallback (see [Simc.chunks_for]): launches smaller
+     than ~4 blocks per worker, or pools with a single worker domain,
+     pay chunked recompilation and pool coordination without usable
+     parallelism — those run sequentially *)
+  let nchunks = Simc.chunks_for ~jobs ~workers ~blocks in
   let ranges =
     List.init nchunks (fun c ->
         (c * blocks / nchunks, ((c + 1) * blocks / nchunks) - 1))
@@ -1258,16 +1117,18 @@ let launch_ext ?engine ?(affine = true) ?trace mem prog (l : launch) =
   Trace.add trace "threads" stats.threads_launched;
   Trace.add trace "read_bytes" stats.global_read_bytes;
   Trace.add trace "write_bytes" stats.global_write_bytes;
+  Trace.set trace "backend" (Trace.Str (if affine then "affine" else "interp"));
   Trace.note trace "chunks" (Trace.Int nchunks);
   (stats, usage_to_host kernel l.l_args (List.sort_uniq compare reads, List.sort_uniq compare writes))
 
-let launch ?engine ?affine ?trace mem prog l = fst (launch_ext ?engine ?affine ?trace mem prog l)
+let launch ?engine ?affine ?backend ?trace mem prog l =
+  fst (launch_ext ?engine ?affine ?backend ?trace mem prog l)
 
 let launch_with_usage = launch_ext
 
-let run_schedule ?engine ?affine ?trace mem prog =
+let run_schedule ?engine ?affine ?backend ?trace mem prog =
   List.filter_map
     (function
-      | Launch l -> Some (l, launch ?engine ?affine ?trace mem prog l)
+      | Launch l -> Some (l, launch ?engine ?affine ?backend ?trace mem prog l)
       | Copy_to_device _ | Copy_to_host _ -> None)
     prog.p_schedule

@@ -16,7 +16,7 @@
     divergence of conditionals and shared-memory hazards, which the
     profiler turns into the paper's performance metadata. *)
 
-type stats = {
+type stats = Simc.stats = {
   mutable global_read_bytes : int;
   mutable global_write_bytes : int;
   mutable flops : float;
@@ -44,7 +44,37 @@ exception
     message : string;
   }
 (** Out-of-bounds accesses, barrier divergence, unbound names, arity
-    errors. *)
+    errors. The same exception (physically: a rebinding of
+    {!Simc.Sim_error}) is raised by every execution backend. *)
+
+type backend =
+  | Auto  (** vectorized when the launch is eligible, affine otherwise *)
+  | Interpret  (** the reference interpreter ([affine:false]) *)
+  | Affine  (** lockstep with affine strength reduction (the default) *)
+  | Vector  (** whole-grid vectorized; falls back to [Affine] when the
+                launch is outside the provable fragment *)
+(** Execution backend selection. All backends produce bit-identical
+    memory, statistics and usage — backend choice is purely a
+    performance decision, which is what licenses [Auto] as a default. *)
+
+val backend_name : backend -> string
+(** ["auto"] / ["interp"] / ["affine"] / ["vector"]. *)
+
+val backend_of_string : string -> backend option
+(** Inverse of {!backend_name} (the CLI flag values). *)
+
+val selected_backend :
+  ?affine:bool -> ?backend:backend ->
+  Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> backend
+(** The concrete backend ({!Interpret}, {!Affine} or {!Vector}) a launch
+    with these options will execute on. Pure: runs the (static)
+    eligibility analysis only. *)
+
+val chunk_override : int option ref
+(** Test hook (shared with the vector backend): force the block-range
+    chunk count, bypassing the adaptive serial-fallback policy, so the
+    ordered-merge path can be exercised deterministically on single-core
+    hosts. Reset to [None] after use. *)
 
 val access_trace : (write:bool -> string -> int -> unit) option ref
 (** Test hook: when set, every in-bounds global-memory access taken on
@@ -54,7 +84,8 @@ val access_trace : (write:bool -> string -> int -> unit) option ref
     from worker domains otherwise). Reset to [None] after use. *)
 
 val launch :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:backend ->
+  ?trace:Kft_trace.Trace.t ->
   Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch -> stats
 (** Execute one kernel launch against device memory, returning its
     execution statistics.
@@ -73,13 +104,21 @@ val launch :
     index expressions before compilation; it is observation-preserving
     (same values, same stats), only faster.
 
+    [backend] overrides the execution backend (see {!backend});
+    when absent, [affine] picks between the two lockstep modes as
+    before. [Auto]/[Vector] run the whole-grid vectorized backend when
+    the launch is in the provable fragment — results are bit-identical
+    whichever backend executes.
+
     [trace] records one [launch:<kernel>] span per call with block,
-    thread and read/write byte totals in the canonical channel, and the
-    block-chunk split in the side channel (see {!Kft_trace.Trace}). The
-    trace is only touched from the calling (coordinator) domain. *)
+    thread and read/write byte totals plus the executed backend name in
+    the canonical channel, and the block-chunk split in the side channel
+    (see {!Kft_trace.Trace}). The trace is only touched from the calling
+    (coordinator) domain. *)
 
 val launch_with_usage :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:backend ->
+  ?trace:Kft_trace.Trace.t ->
   Memory.t -> Kft_cuda.Ast.program -> Kft_cuda.Ast.launch ->
   stats * (string list * string list)
 (** Like {!launch}, additionally returning the host arrays the launch
@@ -89,7 +128,8 @@ val launch_with_usage :
     validate the static dependence analysis against. *)
 
 val run_schedule :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:backend ->
+  ?trace:Kft_trace.Trace.t ->
   Memory.t -> Kft_cuda.Ast.program -> (Kft_cuda.Ast.launch * stats) list
 (** Execute every [Launch] of the program's schedule in order ([Copy_*]
     markers are no-ops for the simulator: memory is unified). *)

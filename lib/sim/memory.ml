@@ -54,6 +54,43 @@ let copy t =
   Hashtbl.iter (fun k e -> Hashtbl.replace t' k { e with data = Array.copy e.data }) t;
   t'
 
+(* Snapshots pack every array into one contiguous buffer (entries in
+   sorted name order, so snapshots of equal memories are structurally
+   equal). Capture and restore are pure [Array.blit]s over float arrays —
+   no per-element boxing, no serialization — which is what makes cache
+   replay (Metadata.Sim_cache) cheap enough to matter. *)
+type snapshot = { s_entries : (string * int list * int) array; s_buf : float array }
+
+let snapshot t =
+  let names_sorted = names t in
+  let total = List.fold_left (fun acc n -> acc + Array.length (get t n)) 0 names_sorted in
+  let buf = Array.make total 0.0 in
+  let off = ref 0 in
+  let entries =
+    List.map
+      (fun n ->
+        let e = find t n in
+        let len = Array.length e.data in
+        Array.blit e.data 0 buf !off len;
+        let entry = (n, e.edims, !off) in
+        off := !off + len;
+        entry)
+      names_sorted
+  in
+  { s_entries = Array.of_list entries; s_buf = buf }
+
+let restore s =
+  let t = Hashtbl.create (Array.length s.s_entries) in
+  let n = Array.length s.s_entries in
+  Array.iteri
+    (fun i (name, edims, off) ->
+      let next = if i + 1 < n then (fun (_, _, o) -> o) s.s_entries.(i + 1) else Array.length s.s_buf in
+      let data = Array.make (next - off) 0.0 in
+      Array.blit s.s_buf off data 0 (next - off);
+      Hashtbl.replace t name { data; edims })
+    s.s_entries;
+  t
+
 let max_abs_diff a b =
   List.sort_uniq compare (names a @ names b)
   |> List.map (fun n ->

@@ -33,6 +33,19 @@ val names : t -> string list
 
 val copy : t -> t
 
+type snapshot
+(** An immutable-by-convention capture of a memory: every array packed
+    into one contiguous buffer with a (name, dims, offset) directory in
+    sorted name order. Do not mutate a snapshot's interior. *)
+
+val snapshot : t -> snapshot
+(** Capture the current contents. [Array.blit]-based — no
+    serialization; cheap enough to take per cached simulation run. *)
+
+val restore : snapshot -> t
+(** A fresh memory with the captured contents. Restoring twice yields
+    independent memories ([restore s != restore s] arrays). *)
+
 val max_abs_diff : t -> t -> (string * float) list
 (** For every array name present in {e either} memory, the maximum
     absolute elementwise difference. An array missing on one side — or

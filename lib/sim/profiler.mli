@@ -19,22 +19,25 @@ type run = {
 }
 
 val profile :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:Interp.backend ->
+  ?trace:Kft_trace.Trace.t -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> run
 (** Allocate and seed device memory (default seed 42), then run the full
     schedule. [engine] and [affine] are passed through to
-    {!Interp.launch}: block-parallel execution and affine index
-    precomputation never change the profile, only how fast it is
-    produced. [trace] records one span per launch. *)
+    {!Interp.launch}, as is [backend] (backend selection never changes
+    the profile — all backends are bit-identical — only how fast it is
+    produced). [trace] records one span per launch. *)
 
 val profile_with_memory :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:Interp.backend ->
+  ?trace:Kft_trace.Trace.t ->
   Kft_device.Device.t -> Memory.t -> Kft_cuda.Ast.program -> run
 (** Run against caller-provided memory (mutated in place); used to
     compare two program versions from identical initial state. *)
 
 val verify :
-  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?trace:Kft_trace.Trace.t -> ?seed:int -> ?tol:float ->
+  ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:Interp.backend ->
+  ?trace:Kft_trace.Trace.t -> ?seed:int -> ?tol:float ->
   Kft_device.Device.t ->
   original:Kft_cuda.Ast.program -> transformed:Kft_cuda.Ast.program ->
   (unit, (string * float) list) result

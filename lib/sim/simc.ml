@@ -1,0 +1,302 @@
+(* Shared simulator-compiler substrate: the execution statistics record,
+   the binding environment, type inference over the CUDA subset and the
+   static expression analyses (flop counts, read counts, constant
+   folding, guard purity).  Both execution backends — the lockstep
+   interpreter ([Interp]) and the whole-grid vectorized backend
+   ([Vector]) — compile against exactly these definitions, which is what
+   makes their statistics bit-comparable: every flop/byte/divergence
+   addend is derived from the same static analysis. *)
+
+open Kft_cuda.Ast
+
+type stats = {
+  mutable global_read_bytes : int;
+  mutable global_write_bytes : int;
+  mutable flops : float;
+  mutable warp_cond_evals : int;
+  mutable divergent_warp_cond_evals : int;
+  mutable shared_hazards : int;
+  mutable threads_launched : int;
+  mutable threads_active : int;
+  shared_bytes_per_block : int;
+  blocks_launched : int;
+}
+
+let divergence_fraction s =
+  if s.warp_cond_evals = 0 then 0.0
+  else float_of_int s.divergent_warp_cond_evals /. float_of_int s.warp_cond_evals
+
+let copy_stats s = { s with global_read_bytes = s.global_read_bytes }
+
+let zero_stats ~shared_bytes_per_block ~blocks_launched =
+  {
+    global_read_bytes = 0;
+    global_write_bytes = 0;
+    flops = 0.0;
+    warp_cond_evals = 0;
+    divergent_warp_cond_evals = 0;
+    shared_hazards = 0;
+    threads_launched = 0;
+    threads_active = 0;
+    shared_bytes_per_block;
+    blocks_launched;
+  }
+
+(* Per-block counter deltas against a snapshot taken at block entry. All
+   flop addends are [float_of_int] of static counts, so every partial sum
+   is an exactly-represented integer and the subtraction is exact: the
+   per-block deltas re-summed in block order reproduce the sequential
+   accumulator bit for bit. *)
+let diff_stats cur base =
+  {
+    global_read_bytes = cur.global_read_bytes - base.global_read_bytes;
+    global_write_bytes = cur.global_write_bytes - base.global_write_bytes;
+    flops = cur.flops -. base.flops;
+    warp_cond_evals = cur.warp_cond_evals - base.warp_cond_evals;
+    divergent_warp_cond_evals =
+      cur.divergent_warp_cond_evals - base.divergent_warp_cond_evals;
+    shared_hazards = cur.shared_hazards - base.shared_hazards;
+    threads_launched = 0;
+    threads_active = cur.threads_active - base.threads_active;
+    shared_bytes_per_block = cur.shared_bytes_per_block;
+    blocks_launched = 1;
+  }
+
+exception Sim_error of { kernel : string; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation environment                                             *)
+(* ------------------------------------------------------------------ *)
+
+type binding =
+  | Const_int of int
+  | Const_float of float
+  | Int_slot of int
+  | Float_slot of int
+  | Global of float array
+  | Shared of int * int list  (* slot, declared dims *)
+
+let usage_flag tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref false in
+      Hashtbl.replace tbl name r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Type inference over the subset                                      *)
+(* ------------------------------------------------------------------ *)
+
+type ety = EInt | EFloat
+
+let join a b = match (a, b) with EInt, EInt -> EInt | _ -> EFloat
+
+let rec ty_of lookup e =
+  match e with
+  | Int_lit _ -> EInt
+  | Double_lit _ -> EFloat
+  | Builtin _ -> EInt
+  | Var v -> (
+      match lookup v with
+      | Const_int _ | Int_slot _ -> EInt
+      | Const_float _ | Float_slot _ -> EFloat
+      | Global _ | Shared _ -> EFloat)
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) -> join (ty_of lookup a) (ty_of lookup b)
+  | Binop (_, _, _) -> EInt
+  | Unop (Not, _) -> EInt
+  | Unop (Neg, a) -> ty_of lookup a
+  | Index _ -> EFloat
+  | Call (("min" | "max" | "abs"), args) ->
+      List.fold_left (fun acc a -> join acc (ty_of lookup a)) EInt args
+  | Call _ -> EFloat
+  | Ternary (_, a, b) -> join (ty_of lookup a) (ty_of lookup b)
+
+(* static flop count of an expression (arithmetic on any operands;
+   integer index arithmetic is excluded by construction because we only
+   charge flops for float-typed subtrees) *)
+let rec float_flops lookup e =
+  match ty_of lookup e with
+  | EInt -> 0
+  | EFloat -> (
+      match e with
+      | Int_lit _ | Double_lit _ | Var _ | Builtin _ | Index _ -> 0
+      | Binop ((Add | Sub | Mul | Div | Mod), a, b) ->
+          1 + float_flops lookup a + float_flops lookup b
+      | Binop (_, a, b) -> float_flops lookup a + float_flops lookup b
+      | Unop (_, a) -> float_flops lookup a
+      | Call ("fma", args) -> 2 + List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
+      | Call (("sqrt" | "exp" | "log" | "pow" | "sin" | "cos"), args) ->
+          4 + List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
+      | Call (_, args) -> List.fold_left (fun acc a -> acc + float_flops lookup a) 0 args
+      | Ternary (c, a, b) ->
+          float_flops lookup c + max (float_flops lookup a) (float_flops lookup b))
+
+(* Left-leaning [+]/[-] chains, leftmost term first. [a + b - c] yields
+   [(true, a); (true, b); (false, c)]: the sign belongs to the term, and
+   since IEEE subtraction is addition of the negated operand, folding the
+   sign into the leaf closure is bit-exact. *)
+let rec sum_terms e acc =
+  match e with
+  | Binop (Add, l, r) -> sum_terms l ((true, r) :: acc)
+  | Binop (Sub, l, r) -> sum_terms l ((false, r) :: acc)
+  | _ -> (true, e) :: acc
+
+(* compile-time integer constants: literals, bound scalar parameters and
+   non-trapping arithmetic over them (Div/Mod are left to the runtime so
+   a division by zero still raises per-thread, as the reference does) *)
+let rec static_int lookup e =
+  match e with
+  | Int_lit i -> Some i
+  | Var v -> ( match lookup v with Const_int i -> Some i | _ -> None)
+  | Binop (op, a, b) -> (
+      match (static_int lookup a, static_int lookup b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div | Mod -> None
+          | Lt -> Some (if x < y then 1 else 0)
+          | Le -> Some (if x <= y then 1 else 0)
+          | Gt -> Some (if x > y then 1 else 0)
+          | Ge -> Some (if x >= y then 1 else 0)
+          | Eq -> Some (if x = y then 1 else 0)
+          | Ne -> Some (if x <> y then 1 else 0)
+          | And -> Some (if x <> 0 && y <> 0 then 1 else 0)
+          | Or -> Some (if x <> 0 || y <> 0 then 1 else 0))
+      | _ -> None)
+  | Unop (Neg, a) -> Option.map (fun x -> -x) (static_int lookup a)
+  | Unop (Not, a) -> Option.map (fun x -> if x = 0 then 1 else 0) (static_int lookup a)
+  | _ -> None
+
+(* compile-time float constants (literals and bound scalar parameters) *)
+let const_float_of lookup e =
+  match e with
+  | Double_lit f -> Some f
+  | Int_lit i -> Some (float_of_int i)
+  | Var v -> (
+      match lookup v with
+      | Const_float f -> Some f
+      | Const_int i -> Some (float_of_int i)
+      | _ -> None)
+  | _ -> None
+
+(* integer-only, side-effect-free, non-trapping conditions: evaluating
+   them once or twice is indistinguishable — no stats, no memory
+   traffic, no Sim_error *)
+let rec pure_int_cond lookup e =
+  match e with
+  | Int_lit _ -> true
+  | Builtin (Thread_idx _ | Block_idx _) -> true
+  | Builtin _ -> false
+  | Var v -> ( match lookup v with Const_int _ | Int_slot _ -> true | _ -> false)
+  | Binop ((Div | Mod), _, _) -> false
+  | Binop (_, a, b) -> pure_int_cond lookup a && pure_int_cond lookup b
+  | Unop (_, a) -> pure_int_cond lookup a
+  | Ternary (c, a, b) ->
+      pure_int_cond lookup c && pure_int_cond lookup a && pure_int_cond lookup b
+  | Double_lit _ | Index _ | Call _ -> false
+
+(* number of global-array reads one evaluation of [e] performs, or
+   [None] when the count is data-dependent (a [Ternary] picks a branch
+   at run time). Shared-memory reads are excluded: they do not touch
+   [global_read_bytes] and keep their per-access hazard accounting. *)
+let static_read_count lookup e =
+  let rec go e =
+    match e with
+    | Index (a, _) -> ( match lookup a with Global _ -> 1 | _ -> 0)
+    | Binop (_, a, b) -> go a + go b
+    | Unop (_, a) -> go a
+    | Call (_, args) -> List.fold_left (fun acc a -> acc + go a) 0 args
+    | Ternary _ -> raise Exit
+    | Int_lit _ | Double_lit _ | Var _ | Builtin _ -> 0
+  in
+  try Some (go e) with Exit -> None
+
+let stmts_read_var v stmts =
+  let found = ref false in
+  ignore
+    (map_exprs_in_stmts
+       (fun e ->
+         (match e with Var x when x = v -> found := true | _ -> ());
+         e)
+       stmts);
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Scalar slot collection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let collect_scalar_slots kernel_name body params =
+  (* name -> ety, slot index; loop indices and decls *)
+  let table : (string, binding) Hashtbl.t = Hashtbl.create 32 in
+  let int_slots = ref 0 and float_slots = ref 0 in
+  let add_var name ety =
+    match Hashtbl.find_opt table name with
+    | Some (Int_slot _) when ety = EInt -> ()
+    | Some (Float_slot _) when ety = EFloat -> ()
+    | Some _ ->
+        raise
+          (Sim_error
+             {
+               kernel = kernel_name;
+               message = Printf.sprintf "variable %s redeclared with a different type" name;
+             })
+    | None ->
+        let b =
+          match ety with
+          | EInt ->
+              incr int_slots;
+              Int_slot (!int_slots - 1)
+          | EFloat ->
+              incr float_slots;
+              Float_slot (!float_slots - 1)
+        in
+        Hashtbl.replace table name b
+  in
+  ignore params;
+  let shared_slots = ref [] in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Decl (Int, v, _) | Decl (Bool, v, _) -> add_var v EInt
+        | Decl (Double, v, _) -> add_var v EFloat
+        | Shared_decl (_, n, dims) ->
+            if not (List.mem_assoc n !shared_slots) then
+              shared_slots := !shared_slots @ [ (n, dims) ]
+        | For l ->
+            add_var l.index EInt;
+            walk l.body
+        | If (_, t, e) ->
+            walk t;
+            walk e
+        | Assign _ | Syncthreads | Return -> ())
+      stmts
+  in
+  walk body;
+  (table, !int_slots, !float_slots, !shared_slots)
+
+(* ------------------------------------------------------------------ *)
+(* Block-range chunking policy (shared by both parallel backends)      *)
+(* ------------------------------------------------------------------ *)
+
+(* test hook: force a chunk count so the ordered-merge path can be
+   exercised deterministically even on a single-core host (where the
+   adaptive policy below always picks 1) *)
+let chunk_override : int option ref = ref None
+
+(* Each chunk recompiles the kernel against its own lane/register state,
+   so chunking only pays off when there are real worker domains and
+   enough blocks per chunk to amortize the per-chunk compilation: small
+   launches (blocks < ~4 x workers) and single-worker pools stay
+   sequential — paying pool coordination with zero usable parallelism is
+   exactly the Fluam block-parallel regression. Splitting scales with the
+   domains actually spawned, not the requested width. *)
+let chunks_for ~jobs ~workers ~blocks =
+  match !chunk_override with
+  | Some n -> max 1 (min n (max 1 blocks))
+  | None ->
+      if jobs <= 1 || workers <= 1 || blocks < 4 * workers then 1
+      else min (workers * 2) (blocks / 4)

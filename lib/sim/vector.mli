@@ -1,0 +1,48 @@
+(** Whole-grid vectorized execution backend.
+
+    When a launch is proved to be in the "uniform, barrier-free,
+    shared-memory-free" fragment, the kernel is compiled to flat scalar
+    loops over the backing [float array]s — one mutable lane instead of
+    per-thread register files and closures — and executed in a single
+    pass over the grid. Results (memory, statistics, observed usage) are
+    bit-identical to the [affine:false] reference interpreter; the
+    eligibility conditions exist precisely to make that reordering
+    unobservable (see the implementation header for the argument).
+
+    Selection between this backend and the lockstep ones lives in
+    {!Interp.launch_ext} (the [?backend] parameter). *)
+
+open Kft_cuda.Ast
+
+val set_prover : (program -> launch -> bool) -> unit
+(** Install the bounds prover consulted per launch: [true] licenses
+    unchecked ([Array.unsafe_get/set]) global accesses. Registered by
+    [kft_absint] at link time (the analyzer result [res_all_proved]);
+    the default prover proves nothing, so accesses stay range-checked.
+    Must be conservative: a [true] for a launch with an out-of-bounds
+    access is memory-unsafe. *)
+
+val eligible : program -> launch -> bool
+(** [eligible prog l] is [true] when the launch can run on this
+    backend: the kernel exists, its arguments bind, and its
+    (blockDim/gridDim-substituted, affine-rewritten) body has no
+    barrier, early [return] or shared memory, pure integer top-level
+    guards, definite assignment of every scalar, and all accesses to
+    any written host array confined to a single top-level statement. *)
+
+val try_run :
+  ?engine:Kft_engine.Engine.t ->
+  Memory.t ->
+  program ->
+  launch ->
+  (Simc.stats * (string list * string list) * int) option
+(** Execute the launch if {!eligible}, returning
+    [(stats, (read_params, written_params), chunks)] with the observed
+    parameter-name usage sorted. [None] means "not in the fragment" —
+    the caller falls back to a lockstep backend. With an [engine], the
+    block range fans out over the worker pool in contiguous chunks
+    (per-block stats deltas merged in block-index order, so results do
+    not depend on the chunking); the adaptive policy keeps small grids
+    sequential. Raises {!Simc.Sim_error} (re-exported as
+    [Interp.Sim_error]) for runtime faults exactly as the reference
+    backend does. *)

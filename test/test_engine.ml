@@ -71,6 +71,29 @@ let test_jobs_clamped () =
       Alcotest.(check int) "jobs < 1 behaves as 1" 1 (Engine.Pool.jobs p);
       Alcotest.(check (list int)) "still maps" [ 2; 4 ] (Engine.Pool.map p (fun x -> 2 * x) [ 1; 2 ]))
 
+let test_steal_stats () =
+  with_pool 4 (fun p ->
+      let items = List.init 50 Fun.id in
+      let expected = List.map busy items in
+      Alcotest.(check bool) "order preserved" true (Engine.Pool.map p busy items = expected);
+      let s = Engine.Pool.stats p in
+      Alcotest.(check int) "one batch" 1 s.Engine.Pool.st_batches;
+      Alcotest.(check int) "all items" 50 s.Engine.Pool.st_items;
+      Alcotest.(check bool) "deques were filled" true (s.Engine.Pool.st_max_queue >= 1);
+      let tasks = List.fold_left ( + ) 0 s.Engine.Pool.st_worker_tasks in
+      Alcotest.(check bool) "every chunk ran exactly once" true
+        (tasks >= 1 && tasks <= s.Engine.Pool.st_max_queue);
+      (* steals move tasks between domains; they can never exceed the
+         number of tasks executed and never go negative *)
+      Alcotest.(check bool) "steal counter bounded" true
+        (s.Engine.Pool.st_steals >= 0 && s.Engine.Pool.st_steals <= tasks);
+      (* a second batch reuses the same deques; stats accumulate *)
+      ignore (Engine.Pool.map p busy items);
+      let s2 = Engine.Pool.stats p in
+      Alcotest.(check int) "two batches" 2 s2.Engine.Pool.st_batches;
+      Alcotest.(check bool) "steals monotonic" true
+        (s2.Engine.Pool.st_steals >= s.Engine.Pool.st_steals))
+
 let test_cache_counters () =
   let c : int Engine.Cache.t = Engine.Cache.create () in
   Alcotest.(check bool) "miss on empty" true (Engine.Cache.find c "a" = None);
@@ -124,6 +147,7 @@ let suite =
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "map after shutdown rejected" `Quick test_map_after_shutdown;
     Alcotest.test_case "jobs clamped to >= 1" `Quick test_jobs_clamped;
+    Alcotest.test_case "work-stealing stats are coherent" `Quick test_steal_stats;
     Alcotest.test_case "cache hit/miss/size counters" `Quick test_cache_counters;
     Alcotest.test_case "with_engine shuts down" `Quick test_with_engine;
     Alcotest.test_case "with_engine shuts down on exception" `Quick test_with_engine_on_exception;

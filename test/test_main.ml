@@ -177,6 +177,7 @@ let () =
       ("cuda", Test_cuda.suite @ Test_cuda.checker_suite);
       ("analysis", Test_analysis.suite);
       ("sim", Test_sim.suite @ Test_sim.usage_suite @ Test_sim.semantics_suite @ Test_sim.parallel_suite);
+      ("vector", Test_vector.suite);
       ("metadata", Test_metadata.suite);
       ("ddg", Test_ddg.suite);
       ("fission", Test_fission.suite);

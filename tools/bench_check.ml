@@ -1,0 +1,111 @@
+(* Bench regression guard: compare the committed BENCH_sim.json against
+   the committed BENCH_baseline.json and fail if any (app, config)
+   speedup regressed by more than 10%.
+
+   Speedups are relative to the same run's reference interpreter, so
+   machine-to-machine wall-clock differences largely cancel; a >10% drop
+   in the ratio means the configuration itself got slower relative to
+   the baseline commit, which is exactly the regression this guards.
+
+   The parser is a line-oriented field scanner over the fixed format
+   bench/main.ml emits (one JSON object per line for each config row) —
+   no JSON library, by design: the repository has no such dependency.
+
+   Usage: bench_check.exe [NEW.json BASELINE.json]  (defaults shown below) *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* value of a ["key": ...] field on [line], as a raw token (quoted
+   strings lose their quotes); None when the key is absent *)
+let field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let start = ref start in
+      while !start < llen && line.[!start] = ' ' do
+        incr start
+      done;
+      if !start >= llen then None
+      else if line.[!start] = '"' then begin
+        let stop = ref (!start + 1) in
+        while !stop < llen && line.[!stop] <> '"' do
+          incr stop
+        done;
+        Some (String.sub line (!start + 1) (!stop - !start - 1))
+      end
+      else begin
+        let stop = ref !start in
+        while
+          !stop < llen
+          && (match line.[!stop] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        if !stop = !start then None else Some (String.sub line !start (!stop - !start))
+      end
+
+(* ((section, config) -> speedup) rows: throughput configs keyed by
+   their app, guard-elimination rows keyed by their program *)
+let parse text =
+  let rows = ref [] in
+  let current = ref "" in
+  List.iter
+    (fun line ->
+      (match field line "app" with Some a -> current := a | None -> ());
+      (match field line "program" with Some p -> current := p | None -> ());
+      let label =
+        match field line "name" with
+        | Some n -> Some n
+        | None -> ( match field line "program" with Some _ -> Some "guard-splice" | None -> None)
+      in
+      match (label, field line "speedup") with
+      | Some cfg, Some sp -> rows := ((!current, cfg), float_of_string sp) :: !rows
+      | _ -> ())
+    (String.split_on_char '\n' text);
+  List.rev !rows
+
+let () =
+  let new_path, base_path =
+    match Sys.argv with
+    | [| _; n; b |] -> (n, b)
+    | _ -> ("BENCH_sim.json", "BENCH_baseline.json")
+  in
+  let fresh = parse (read_file new_path) in
+  let baseline = parse (read_file base_path) in
+  if baseline = [] then begin
+    Printf.eprintf "bench_check: no speedup rows found in %s\n" base_path;
+    exit 1
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun ((section, cfg), base_speedup) ->
+      match List.assoc_opt (section, cfg) fresh with
+      | None ->
+          incr failures;
+          Printf.eprintf "bench_check: FAIL %s/%s present in baseline but missing from %s\n"
+            section cfg new_path
+      | Some sp when sp < base_speedup *. 0.9 ->
+          incr failures;
+          Printf.eprintf "bench_check: FAIL %s/%s regressed: %.3fx -> %.3fx (>10%% drop)\n"
+            section cfg base_speedup sp
+      | Some _ -> ())
+    baseline;
+  if !failures > 0 then begin
+    Printf.eprintf "bench_check: %d regression(s) against %s\n" !failures base_path;
+    exit 1
+  end;
+  Printf.printf "bench_check: %d configs within 10%% of baseline (%d rows compared)\n"
+    (List.length baseline) (List.length fresh)
