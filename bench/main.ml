@@ -762,6 +762,131 @@ let sim () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Memory substrate: GC allocation per backend + arena pool behaviour  *)
+(* ------------------------------------------------------------------ *)
+
+(* guarded 7-point stencil with a parametric domain: scaling (nx, ny)
+   scales the thread count without changing the compiled closure graph,
+   which is what lets the budget check below separate per-launch
+   compilation cost from per-thread execution cost *)
+let mem_probe_program (nx, ny, nz) =
+  let open Kft_cuda.Ast in
+  let src =
+    {|
+__global__ void probe(const double *A, double *B, int nx, int ny, int nz, double c) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < nx - 1 && j >= 1 && j < ny - 1) {
+    for (int k = 1; k < nz - 1; k++) {
+      B[(k * ny + j) * nx + i] = c * (A[(k * ny + j) * nx + i + 1] + A[(k * ny + j) * nx + i - 1]
+        + A[(k * ny + (j + 1)) * nx + i] + A[(k * ny + (j - 1)) * nx + i]
+        + A[((k + 1) * ny + j) * nx + i] + A[((k - 1) * ny + j) * nx + i]);
+    }
+  }
+}
+|}
+  in
+  {
+    p_name = "mem-probe";
+    p_arrays =
+      List.map
+        (fun n -> { a_name = n; a_elem_ty = Double; a_dims = [ nx; ny; nz ] })
+        [ "A"; "B" ];
+    p_kernels = [ Kft_cuda.Parse.kernel src ];
+    p_schedule =
+      [
+        Launch
+          { l_kernel = "probe"; l_domain = (nx, ny, 1); l_block = (16, 4, 1);
+            l_args =
+              [ Arg_array "A"; Arg_array "B"; Arg_int nx; Arg_int ny; Arg_int nz;
+                Arg_double 0.25 ] };
+      ];
+  }
+
+(* minor-heap words allocated by one sequential schedule run, plus the
+   thread count it launched. [Gc.minor_words] is per-domain, so this
+   measurement is only meaningful at jobs=1; memory setup and teardown
+   stay outside the measured window (the grids themselves are off-heap
+   and never counted by the GC at all). *)
+let alloc_words ?backend ~affine (p : Kft_cuda.Ast.program) =
+  let mem = Kft_sim.Memory.create p.p_arrays in
+  Kft_sim.Memory.init_seeded mem ~seed:42;
+  let w0 = Gc.minor_words () in
+  let runs = Kft_sim.Interp.run_schedule ~affine ?backend mem p in
+  let w1 = Gc.minor_words () in
+  let threads =
+    List.fold_left
+      (fun a (_, (s : Kft_sim.Interp.stats)) -> a + s.threads_launched)
+      0 runs
+  in
+  Kft_sim.Memory.release mem;
+  (w1 -. w0, threads)
+
+(* the substrate's hot-loop guarantee, asserted: on the affine and
+   vectorized fast paths, growing the domain 16x must not grow the
+   allocation proportionally — steady-state words per additional thread
+   stay below a fixed budget that is an order of magnitude under what a
+   single boxed float per executed statement would cost. (The small
+   residual is per-block stats records, not per-thread boxing.) *)
+let alloc_budget_words_per_thread = 8.0
+
+let assert_alloc_budget () =
+  let dims_small = (16, 8, 6) and dims_large = (64, 32, 6) in
+  let configs =
+    [ ("compiled-affine", true, None); ("vectorized", true, Some Kft_sim.Interp.Vector) ]
+  in
+  List.iter
+    (fun (cname, affine, backend) ->
+      (* one warm-up run amortizes process-wide one-time setup *)
+      ignore (alloc_words ~affine ?backend (mem_probe_program dims_small));
+      let ws, ts = alloc_words ~affine ?backend (mem_probe_program dims_small) in
+      let wl, tl = alloc_words ~affine ?backend (mem_probe_program dims_large) in
+      let per_thread = (wl -. ws) /. float_of_int (tl - ts) in
+      if per_thread > alloc_budget_words_per_thread then begin
+        Printf.eprintf
+          "[bench] mem: %s allocates %.2f words/thread in steady state (budget %.1f): \
+           the hot loop is boxing\n%!"
+          cname per_thread alloc_budget_words_per_thread;
+        exit 1
+      end;
+      Printf.printf "  %-16s steady-state %.3f words/thread (budget %.1f)\n%!" cname
+        per_thread alloc_budget_words_per_thread)
+    configs
+
+let mem_bench () =
+  print_endline "== memory substrate: GC allocation + arena pool (jobs=1) ==";
+  print_endline "application   config           minor-Mwords  words/thread  pool-hit%";
+  List.iter
+    (fun name ->
+      let p = (app name).program in
+      List.iter
+        (fun (cname, affine, backend) ->
+          (* warm run: compile caches, pool warm-up; measured run then
+             reflects the steady state the GGA's fitness loop lives in *)
+          ignore (alloc_words ~affine ?backend p);
+          let s0 = Kft_sim.Memory.Pool.stats () in
+          let words, threads = alloc_words ~affine ?backend p in
+          let s1 = Kft_sim.Memory.Pool.stats () in
+          let dreq = s1.requests - s0.requests and dhit = s1.hits - s0.hits in
+          let hitp = if dreq = 0 then 0.0 else 100.0 *. float_of_int dhit /. float_of_int dreq in
+          Printf.printf "%-13s %-16s %12.3f %13.2f %10.1f\n%!" name cname (words /. 1e6)
+            (words /. float_of_int threads)
+            hitp)
+        [
+          ("interpret", false, None);
+          ("compiled-affine", true, None);
+          ("vectorized", true, Some Kft_sim.Interp.Vector);
+        ])
+    all_app_names;
+  assert_alloc_budget ();
+  (let s = Kft_sim.Memory.Pool.stats () in
+   Printf.printf
+     "  pool since start: %d requests, %d recycled, %d fresh, high water %.1f Mcells\n%!"
+     s.requests s.hits s.misses
+     (float_of_int s.high_water /. 1e6));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Smoke: one tiny transformation per bench mode (tier-1 rot check)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -825,6 +950,9 @@ let smoke () =
     (("quickstart", (Apps.quickstart ()).program)
     :: List.map (fun n -> (n, (app n).program)) all_app_names);
   Printf.printf "  %-22s %-12s bit-identical to sequential\n%!" "all-backends" "all apps";
+  (* allocation-budget guard: the off-heap substrate's allocation-free
+     hot loops must not regress (runs under `dune runtest`) *)
+  assert_alloc_budget ();
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -904,6 +1032,7 @@ let experiments =
     ("devices", devices);
     ("search", search);
     ("sim", sim);
+    ("mem", mem_bench);
     ("smoke", smoke);
     ("micro", micro);
   ]

@@ -81,6 +81,7 @@ type report = {
   rejected_groups : (string * string) list;
   new_graphs : Ddg.t;
   sim_cache_stats : Kft_engine.Engine.Cache.stats option;
+  pool_stats : Kft_sim.Memory.Pool.stats;
   backends : (string * string) list;
   trace : Trace.t option;
 }
@@ -158,6 +159,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
   let cache = config.sim_cache in
   let backend = config.backend in
   let cache_stats_before = Option.map Meta.Sim_cache.stats cache in
+  let pool_stats_before = Kft_sim.Memory.Pool.stats () in
   (* stage 1: metadata (simulation runs go through the profile cache, so
      re-transforming a program — or verifying against it later — replays
      the stored run instead of re-simulating) *)
@@ -218,7 +220,12 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
         in
         let meta_fissioned =
           Option.map
-            (fun p -> fst (Meta.gather ?cache ?engine ~backend ?trace ~seed:config.seed device p))
+            (fun p ->
+              let m, grun = Meta.gather ?cache ?engine ~backend ?trace ~seed:config.seed device p in
+              (* only the metadata survives this pre-step: recycle the
+                 profiled run's arena instead of waiting for the GC *)
+              Kft_sim.Memory.release grun.Kft_sim.Profiler.memory;
+              m)
             prog_fissioned
         in
         Trace.add trace "plans" (List.length fission_plans);
@@ -626,6 +633,27 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
       Trace.add trace "sim_cache_hits" st.Kft_engine.Engine.Cache.hits;
       Trace.add trace "sim_cache_misses" st.Kft_engine.Engine.Cache.misses
   | None -> ());
+  (* memory-pool accounting for this run. Requests and cells are a pure
+     function of the simulation call sequence, so they live in the
+     canonical (byte-stable) channel; hit/miss/high-water depend on how
+     warm the pool is from earlier runs in the process, so they go to
+     the note side channel like the scheduler counters below. *)
+  let pool_stats =
+    let s1 = Kft_sim.Memory.Pool.stats () in
+    let s0 = pool_stats_before in
+    {
+      s1 with
+      Kft_sim.Memory.Pool.requests = s1.requests - s0.requests;
+      hits = s1.hits - s0.hits;
+      misses = s1.misses - s0.misses;
+      cells_requested = s1.cells_requested - s0.cells_requested;
+    }
+  in
+  Trace.add trace "pool_requests" pool_stats.Kft_sim.Memory.Pool.requests;
+  Trace.add trace "pool_cells" pool_stats.Kft_sim.Memory.Pool.cells_requested;
+  Trace.note trace "pool_hits" (Trace.Int pool_stats.Kft_sim.Memory.Pool.hits);
+  Trace.note trace "pool_misses" (Trace.Int pool_stats.Kft_sim.Memory.Pool.misses);
+  Trace.note trace "pool_high_water" (Trace.Int pool_stats.Kft_sim.Memory.Pool.high_water);
   (* which concrete backend each baseline launch executes on under this
      config — a pure re-query of the (static) selection, for the stage
      report *)
@@ -674,6 +702,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
     rejected_groups;
     new_graphs = Ddg.build transformed;
     sim_cache_stats;
+    pool_stats;
     backends;
     trace;
   }
@@ -692,6 +721,11 @@ let stage_report r =
       p "  profile cache: %d hits, %d misses this run (%d cached simulations)"
         s.Kft_engine.Engine.Cache.hits s.misses s.size
   | None -> ());
+  (let ps = r.pool_stats in
+   if ps.Kft_sim.Memory.Pool.requests > 0 then
+     p "  memory pool: %d arenas (%d recycled, %d fresh), %.1f Mcells requested"
+       ps.Kft_sim.Memory.Pool.requests ps.hits ps.misses
+       (float_of_int ps.cells_requested /. 1e6));
   p "";
   p "== stage 2: target identification ==";
   List.iter

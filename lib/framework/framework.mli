@@ -97,6 +97,10 @@ type report = {
       (** profile-cache hits/misses attributable to this transform ([size]
           is the cache's total entry count afterwards); [None] when
           [config.sim_cache] is [None] *)
+  pool_stats : Kft_sim.Memory.Pool.stats;
+      (** arena-pool activity attributable to this transform: requests
+          and cells are deltas over the run; [high_water] is the
+          process-wide peak (the pool is global) *)
   backends : (string * string) list;
       (** (kernel, executed backend name) per distinct baseline launch
           kernel, under [config.backend] — part of the stage report *)

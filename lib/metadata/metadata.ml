@@ -101,9 +101,17 @@ module Sim_cache = struct
      memory image, and the device fixes the timing model. The execution
      backend is deliberately not part of the key: all backends are
      bit-identical, so a profile produced under one backend is a valid
-     hit for any other. *)
-  let key ~seed device (prog : program) =
-    Digest.to_hex (Digest.string (Marshal.to_string (prog, seed, device) []))
+     hit for any other.
+
+     The key additionally carries a memory-representation tag. Entries
+     written under a different device-memory substrate must read as
+     misses: their snapshots belong to the other representation, and a
+     silent hit would replay stale state. Bumping [repr_tag] on a
+     substrate change invalidates every old entry at once. *)
+  let repr_tag = "mem:bigarray-arena-v1"
+
+  let key ?(tag = repr_tag) ~seed device (prog : program) =
+    Digest.to_hex (Digest.string (Marshal.to_string (tag, prog, seed, device) []))
 
   let copy_profiles ps =
     List.map
@@ -158,6 +166,10 @@ let verify ?cache ?engine ?backend ?trace ?(seed = 42) ?(tol = 1e-9) device ~ori
           (fun (n, d) -> Kft_sim.Memory.mem m1 n && Kft_sim.Memory.mem m2 n && d > tol)
           (Kft_sim.Memory.max_abs_diff m1 m2)
       in
+      (* whether freshly simulated or restored from a snapshot, both
+         memories are private to this verification — recycle them *)
+      Kft_sim.Memory.release m1;
+      Kft_sim.Memory.release m2;
       if diffs = [] then Ok () else Error diffs
 
 let gather ?cache ?engine ?backend ?trace ?(seed = 42) device prog =

@@ -73,6 +73,17 @@ module Sim_cache : sig
   (** Hit/miss/size counters (surfaced in the framework stage report). *)
 
   val clear : t -> unit
+
+  val repr_tag : string
+  (** The memory-representation tag baked into every key. Bumped when
+      the device-memory substrate changes shape, so entries written
+      under an older representation read as misses rather than
+      replaying stale snapshots. *)
+
+  val key : ?tag:string -> seed:int -> Kft_device.Device.t -> Kft_cuda.Ast.program -> string
+  (** The cache key for one simulation. [tag] defaults to {!repr_tag};
+      passing an explicit tag exists so tests can prove that entries
+      written under another representation miss. *)
 end
 
 val profile :

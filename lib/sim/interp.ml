@@ -1,6 +1,7 @@
 open Kft_cuda.Ast
 module Engine = Kft_engine.Engine
 module Trace = Kft_trace.Trace
+module A1 = Bigarray.Array1
 
 (* The stats record, binding environment, type inference and static
    expression analyses are shared with the vectorized backend (module
@@ -38,7 +39,7 @@ type binding = Simc.binding =
   | Const_float of float
   | Int_slot of int
   | Float_slot of int
-  | Global of float array
+  | Global of Memory.buf
   | Shared of int * int list  (* slot, declared dims *)
 
 type st = {
@@ -70,6 +71,15 @@ type st = {
          optimized path against. *)
   read_flags : (string, bool ref) Hashtbl.t;
   write_flags : (string, bool ref) Hashtbl.t;
+  acc : Simc.facc;
+      (* float-expression accumulator for the fast path: compiled float
+         closures are [int -> unit] writing here instead of returning a
+         float, because a float returned across an indirect call is
+         boxed — an allocation per expression node per thread. The store
+         to a single-float-field record is flat. *)
+  flacc : Simc.facc;
+      (* fast-path flop accumulator; folded into [stats.flops] once per
+         block (a [float] store into the mixed [stats] record boxes) *)
 }
 
 let err st msg = raise (Sim_error { kernel = st.kernel_name; message = msg })
@@ -250,18 +260,64 @@ and compile_cond st lookup e : int -> int =
   match e with
   | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b)
     when join (ty_of lookup a) (ty_of lookup b) = EFloat ->
-      let fa = compile_float st lookup a and fb = compile_float st lookup b in
-      let cmp : float -> float -> bool =
+      if st.fast then begin
+        (* accumulator form with a direct (monomorphic, allocation-free)
+           comparison per operator: the generic [cmp] closure below would
+           box both float arguments at every call *)
+        let acc = st.acc in
+        let fa = acompile_float st lookup a and fb = acompile_float st lookup b in
         match op with
-        | Lt -> ( < )
-        | Le -> ( <= )
-        | Gt -> ( > )
-        | Ge -> ( >= )
-        | Eq -> ( = )
-        | Ne -> ( <> )
+        | Lt ->
+            fun t ->
+              fa t;
+              let x = acc.Simc.v in
+              fb t;
+              if x < acc.Simc.v then 1 else 0
+        | Le ->
+            fun t ->
+              fa t;
+              let x = acc.Simc.v in
+              fb t;
+              if x <= acc.Simc.v then 1 else 0
+        | Gt ->
+            fun t ->
+              fa t;
+              let x = acc.Simc.v in
+              fb t;
+              if x > acc.Simc.v then 1 else 0
+        | Ge ->
+            fun t ->
+              fa t;
+              let x = acc.Simc.v in
+              fb t;
+              if x >= acc.Simc.v then 1 else 0
+        | Eq ->
+            fun t ->
+              fa t;
+              let x = acc.Simc.v in
+              fb t;
+              if x = acc.Simc.v then 1 else 0
+        | Ne ->
+            fun t ->
+              fa t;
+              let x = acc.Simc.v in
+              fb t;
+              if x <> acc.Simc.v then 1 else 0
         | _ -> assert false
-      in
-      fun t -> if cmp (fa t) (fb t) then 1 else 0
+      end
+      else
+        let fa = compile_float st lookup a and fb = compile_float st lookup b in
+        let cmp : float -> float -> bool =
+          match op with
+          | Lt -> ( < )
+          | Le -> ( <= )
+          | Gt -> ( > )
+          | Ge -> ( >= )
+          | Eq -> ( = )
+          | Ne -> ( <> )
+          | _ -> assert false
+        in
+        fun t -> if cmp (fa t) (fb t) then 1 else 0
   | Binop (And, a, b) ->
       let fa = compile_cond st lookup a and fb = compile_cond st lookup b in
       fun t -> if fa t <> 0 && fb t <> 0 then 1 else 0
@@ -273,11 +329,11 @@ and compile_cond st lookup e : int -> int =
       fun t -> if f t = 0 then 1 else 0
   | e -> compile_int st lookup e
 
-and compile_float ?(count = true) st lookup e : int -> float =
-  (* [count = false] elides the per-read [global_read_bytes] bump: the
-     caller has statically counted the reads in the whole expression and
-     bumps the total once per statement execution. Only valid when the
-     read count is not data-dependent (no [Ternary] on any path). *)
+(* Reference float compilation ([st.fast = false] launches): closures
+   return their float (boxed per indirect call — fine for the reference
+   semantics the bit-identity tests diff the fast paths against), every
+   global read is individually checked, counted and access-traced. *)
+and compile_float st lookup e : int -> float =
   match ty_of lookup e with
   | EInt ->
       let f = compile_int st lookup e in
@@ -290,22 +346,122 @@ and compile_float ?(count = true) st lookup e : int -> float =
           | Const_float f -> fun _ -> f
           | Float_slot s ->
               let arr = st.fregs.(s) in
-              if st.fast then fun t -> Array.unsafe_get arr t else fun t -> arr.(t)
+              fun t -> arr.(t)
           | Const_int i -> fun _ -> float_of_int i
           | Int_slot s ->
               let arr = st.iregs.(s) in
-              if st.fast then fun t -> float_of_int (Array.unsafe_get arr t)
-              else fun t -> float_of_int arr.(t)
+              fun t -> float_of_int arr.(t)
           | Global _ | Shared _ -> err st (Printf.sprintf "array %s used as scalar" v))
       | Index (a, idxs) -> (
           match lookup a with
-          | Global data when st.fast -> (
+          | Global data ->
+              let idx =
+                match idxs with
+                | [ i ] -> compile_int st lookup i
+                | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
+              in
+              let n = A1.dim data in
+              let stats = st.stats in
+              let touched = usage_flag st.read_flags a in
+              fun t ->
+                let i = idx t in
+                if i < 0 || i >= n then
+                  err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
+                else begin
+                  (match !access_trace with Some f -> f ~write:false a i | None -> ());
+                  stats.global_read_bytes <- stats.global_read_bytes + 8;
+                  touched := true;
+                  A1.unsafe_get data i
+                end
+          | Shared (slot, dims) ->
+              let idx_fns = List.map (compile_int st lookup) idxs in
+              let stats = st.stats in
+              fun t ->
+                let addr = shared_addr st dims idx_fns a t in
+                if st.sh_epoch.(slot).(addr) = st.epoch && st.sh_writer.(slot).(addr) <> t
+                   && st.sh_writer.(slot).(addr) >= 0
+                then stats.shared_hazards <- stats.shared_hazards + 1;
+                st.shmem.(slot).(addr)
+          | _ -> err st (Printf.sprintf "%s indexed but is not an array" a))
+      | Binop (op, a, b) -> (
+          let fa = compile_float st lookup a
+          and fb = compile_float st lookup b in
+          match op with
+          | Add -> fun t -> fa t +. fb t
+          | Sub -> fun t -> fa t -. fb t
+          | Mul -> fun t -> fa t *. fb t
+          | Div -> fun t -> fa t /. fb t
+          | Mod -> fun t -> Float.rem (fa t) (fb t)
+          | _ -> err st "comparison in float context")
+      | Unop (Neg, a) ->
+          let f = compile_float st lookup a in
+          fun t -> -.f t
+      | Unop (Not, _) -> err st "logical not in float context"
+      | Ternary (c, a, b) ->
+          let fc = compile_cond st lookup c
+          and fa = compile_float st lookup a
+          and fb = compile_float st lookup b in
+          fun t -> if fc t <> 0 then fa t else fb t
+      | Call (fname, args) -> (
+          let fargs = List.map (compile_float st lookup) args in
+          match (fname, fargs) with
+          | ("sqrt", [ a ]) -> fun t -> sqrt (a t)
+          | ("fabs", [ a ]) | ("abs", [ a ]) -> fun t -> Float.abs (a t)
+          | ("exp", [ a ]) -> fun t -> exp (a t)
+          | ("log", [ a ]) -> fun t -> log (a t)
+          | ("sin", [ a ]) -> fun t -> sin (a t)
+          | ("cos", [ a ]) -> fun t -> cos (a t)
+          | ("pow", [ a; b ]) -> fun t -> Float.pow (a t) (b t)
+          | (("min" | "fmin"), [ a; b ]) -> fun t -> Float.min (a t) (b t)
+          | (("max" | "fmax"), [ a; b ]) -> fun t -> Float.max (a t) (b t)
+          | ("fma", [ a; b; c ]) -> fun t -> Float.fma (a t) (b t) (c t)
+          | _ ->
+              err st
+                (Printf.sprintf "unsupported function %s/%d" fname (List.length args)))
+      | Int_lit _ | Builtin _ -> assert false (* EInt-typed *))
+
+(* Fast-path float compilation: closures deposit their result in
+   [st.acc] instead of returning it, so the steady-state inner loop
+   performs no allocation at all (a float return across an indirect call
+   is boxed by the compiler). Every combination saves the left operand
+   in an unboxed local between the two accumulator runs, reproducing the
+   reference's left-associative evaluation — and therefore its rounding —
+   bit for bit. [count = false] elides the per-read
+   [global_read_bytes] bump: the caller has statically counted the reads
+   in the whole expression and bumps the total once per statement
+   execution. Only valid when the read count is not data-dependent (no
+   [Ternary] on any path). *)
+and acompile_float ?(count = true) st lookup e : int -> unit =
+  let acc = st.acc in
+  match ty_of lookup e with
+  | EInt ->
+      let f = compile_int st lookup e in
+      fun t -> acc.Simc.v <- float_of_int (f t)
+  | EFloat -> (
+      match e with
+      | Double_lit f -> fun _ -> acc.Simc.v <- f
+      | Var v -> (
+          match lookup v with
+          | Const_float f -> fun _ -> acc.Simc.v <- f
+          | Float_slot s ->
+              let arr = st.fregs.(s) in
+              fun t -> acc.Simc.v <- Array.unsafe_get arr t
+          | Const_int i ->
+              let f = float_of_int i in
+              fun _ -> acc.Simc.v <- f
+          | Int_slot s ->
+              let arr = st.iregs.(s) in
+              fun t -> acc.Simc.v <- float_of_int (Array.unsafe_get arr t)
+          | Global _ | Shared _ -> err st (Printf.sprintf "array %s used as scalar" v))
+      | Index (a, idxs) -> (
+          match lookup a with
+          | Global data -> (
               let single =
                 match idxs with
                 | [ i ] -> i
                 | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
               in
-              let n = Array.length data in
+              let n = A1.dim data in
               let stats = st.stats in
               let touched = usage_flag st.read_flags a in
               let oob i =
@@ -330,7 +486,7 @@ and compile_float ?(count = true) st lookup e : int -> float =
                     else begin
                       stats.global_read_bytes <- stats.global_read_bytes + 8;
                       touched := true;
-                      Array.unsafe_get data i
+                      acc.Simc.v <- A1.unsafe_get data i
                     end
               | Some (arr, off) ->
                   fun t ->
@@ -338,7 +494,7 @@ and compile_float ?(count = true) st lookup e : int -> float =
                     if i < 0 || i >= n then oob i
                     else begin
                       touched := true;
-                      Array.unsafe_get data i
+                      acc.Simc.v <- A1.unsafe_get data i
                     end
               | None ->
                   let idx = compile_int st lookup single in
@@ -349,7 +505,7 @@ and compile_float ?(count = true) st lookup e : int -> float =
                       else begin
                         stats.global_read_bytes <- stats.global_read_bytes + 8;
                         touched := true;
-                        Array.unsafe_get data i
+                        acc.Simc.v <- A1.unsafe_get data i
                       end
                   else
                     fun t ->
@@ -357,27 +513,8 @@ and compile_float ?(count = true) st lookup e : int -> float =
                       if i < 0 || i >= n then oob i
                       else begin
                         touched := true;
-                        Array.unsafe_get data i
+                        acc.Simc.v <- A1.unsafe_get data i
                       end)
-          | Global data ->
-              let idx =
-                match idxs with
-                | [ i ] -> compile_int st lookup i
-                | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
-              in
-              let n = Array.length data in
-              let stats = st.stats in
-              let touched = usage_flag st.read_flags a in
-              fun t ->
-                let i = idx t in
-                if i < 0 || i >= n then
-                  err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
-                else begin
-                  (match !access_trace with Some f -> f ~write:false a i | None -> ());
-                  stats.global_read_bytes <- stats.global_read_bytes + 8;
-                  touched := true;
-                  data.(i)
-                end
           | Shared (slot, dims) ->
               let idx_fns = List.map (compile_int st lookup) idxs in
               let stats = st.stats in
@@ -386,77 +523,234 @@ and compile_float ?(count = true) st lookup e : int -> float =
                 if st.sh_epoch.(slot).(addr) = st.epoch && st.sh_writer.(slot).(addr) <> t
                    && st.sh_writer.(slot).(addr) >= 0
                 then stats.shared_hazards <- stats.shared_hazards + 1;
-                st.shmem.(slot).(addr)
+                acc.Simc.v <- st.shmem.(slot).(addr)
           | _ -> err st (Printf.sprintf "%s indexed but is not an array" a))
       | Binop ((Add | Sub), _, _)
-        when st.fast
-             && (let ts = sum_terms e [] in
-                 let k = List.length ts in
-                 (* every term float-typed: an all-int prefix would be
-                    evaluated in integer arithmetic by the nested
-                    compilation, which flattening must not change *)
-                 k >= 3 && k <= 8
-                 && List.for_all (fun (_, term) -> ty_of lookup term = EFloat) ts) -> (
+        when (let ts = sum_terms e [] in
+              let k = List.length ts in
+              (* every term float-typed: an all-int prefix would be
+                 evaluated in integer arithmetic by the nested
+                 compilation, which flattening must not change *)
+              k >= 3 && k <= 8
+              && List.for_all (fun (_, term) -> ty_of lookup term = EFloat) ts) -> (
           (* flatten the chain into one closure: same left-associative
              combination (and thus the same rounding) as the nested
              [Binop] compilation, without the intermediate dispatches *)
           let fns =
             List.map
               (fun (sign, term) ->
-                let f = compile_float ~count st lookup term in
-                if sign then f else fun t -> -.f t)
+                let f = acompile_float ~count st lookup term in
+                if sign then f
+                else
+                  fun t ->
+                    f t;
+                    acc.Simc.v <- -.acc.Simc.v)
               (sum_terms e [])
           in
           match Array.of_list fns with
-          | [| a; b; c |] -> fun t -> a t +. b t +. c t
-          | [| a; b; c; d |] -> fun t -> a t +. b t +. c t +. d t
-          | [| a; b; c; d; e |] -> fun t -> a t +. b t +. c t +. d t +. e t
-          | [| a; b; c; d; e; f |] -> fun t -> a t +. b t +. c t +. d t +. e t +. f t
+          | [| a; b; c |] ->
+              fun t ->
+                a t;
+                let s = acc.Simc.v in
+                b t;
+                let s = s +. acc.Simc.v in
+                c t;
+                acc.Simc.v <- s +. acc.Simc.v
+          | [| a; b; c; d |] ->
+              fun t ->
+                a t;
+                let s = acc.Simc.v in
+                b t;
+                let s = s +. acc.Simc.v in
+                c t;
+                let s = s +. acc.Simc.v in
+                d t;
+                acc.Simc.v <- s +. acc.Simc.v
+          | [| a; b; c; d; e |] ->
+              fun t ->
+                a t;
+                let s = acc.Simc.v in
+                b t;
+                let s = s +. acc.Simc.v in
+                c t;
+                let s = s +. acc.Simc.v in
+                d t;
+                let s = s +. acc.Simc.v in
+                e t;
+                acc.Simc.v <- s +. acc.Simc.v
+          | [| a; b; c; d; e; f |] ->
+              fun t ->
+                a t;
+                let s = acc.Simc.v in
+                b t;
+                let s = s +. acc.Simc.v in
+                c t;
+                let s = s +. acc.Simc.v in
+                d t;
+                let s = s +. acc.Simc.v in
+                e t;
+                let s = s +. acc.Simc.v in
+                f t;
+                acc.Simc.v <- s +. acc.Simc.v
           | [| a; b; c; d; e; f; g |] ->
-              fun t -> a t +. b t +. c t +. d t +. e t +. f t +. g t
+              fun t ->
+                a t;
+                let s = acc.Simc.v in
+                b t;
+                let s = s +. acc.Simc.v in
+                c t;
+                let s = s +. acc.Simc.v in
+                d t;
+                let s = s +. acc.Simc.v in
+                e t;
+                let s = s +. acc.Simc.v in
+                f t;
+                let s = s +. acc.Simc.v in
+                g t;
+                acc.Simc.v <- s +. acc.Simc.v
           | [| a; b; c; d; e; f; g; h |] ->
-              fun t -> a t +. b t +. c t +. d t +. e t +. f t +. g t +. h t
+              fun t ->
+                a t;
+                let s = acc.Simc.v in
+                b t;
+                let s = s +. acc.Simc.v in
+                c t;
+                let s = s +. acc.Simc.v in
+                d t;
+                let s = s +. acc.Simc.v in
+                e t;
+                let s = s +. acc.Simc.v in
+                f t;
+                let s = s +. acc.Simc.v in
+                g t;
+                let s = s +. acc.Simc.v in
+                h t;
+                acc.Simc.v <- s +. acc.Simc.v
           | _ -> assert false (* arity guarded above *))
-      | Binop (Mul, a, b) when st.fast && const_float_of lookup a <> None ->
+      | Binop (Mul, a, b) when const_float_of lookup a <> None ->
           let c = Option.get (const_float_of lookup a) in
-          let fb = compile_float ~count st lookup b in
-          fun t -> c *. fb t
-      | Binop (Mul, a, b) when st.fast && const_float_of lookup b <> None ->
+          let fb = acompile_float ~count st lookup b in
+          fun t ->
+            fb t;
+            acc.Simc.v <- c *. acc.Simc.v
+      | Binop (Mul, a, b) when const_float_of lookup b <> None ->
           let c = Option.get (const_float_of lookup b) in
-          let fa = compile_float ~count st lookup a in
-          fun t -> fa t *. c
+          let fa = acompile_float ~count st lookup a in
+          fun t ->
+            fa t;
+            acc.Simc.v <- acc.Simc.v *. c
       | Binop (op, a, b) -> (
-          let fa = compile_float ~count st lookup a
-          and fb = compile_float ~count st lookup b in
+          let fa = acompile_float ~count st lookup a
+          and fb = acompile_float ~count st lookup b in
           match op with
-          | Add -> fun t -> fa t +. fb t
-          | Sub -> fun t -> fa t -. fb t
-          | Mul -> fun t -> fa t *. fb t
-          | Div -> fun t -> fa t /. fb t
-          | Mod -> fun t -> Float.rem (fa t) (fb t)
+          | Add ->
+              fun t ->
+                fa t;
+                let x = acc.Simc.v in
+                fb t;
+                acc.Simc.v <- x +. acc.Simc.v
+          | Sub ->
+              fun t ->
+                fa t;
+                let x = acc.Simc.v in
+                fb t;
+                acc.Simc.v <- x -. acc.Simc.v
+          | Mul ->
+              fun t ->
+                fa t;
+                let x = acc.Simc.v in
+                fb t;
+                acc.Simc.v <- x *. acc.Simc.v
+          | Div ->
+              fun t ->
+                fa t;
+                let x = acc.Simc.v in
+                fb t;
+                acc.Simc.v <- x /. acc.Simc.v
+          | Mod ->
+              fun t ->
+                fa t;
+                let x = acc.Simc.v in
+                fb t;
+                acc.Simc.v <- Float.rem x acc.Simc.v
           | _ -> err st "comparison in float context")
       | Unop (Neg, a) ->
-          let f = compile_float ~count st lookup a in
-          fun t -> -.f t
+          let f = acompile_float ~count st lookup a in
+          fun t ->
+            f t;
+            acc.Simc.v <- -.acc.Simc.v
       | Unop (Not, _) -> err st "logical not in float context"
       | Ternary (c, a, b) ->
           let fc = compile_cond st lookup c
-          and fa = compile_float st lookup a
-          and fb = compile_float st lookup b in
+          and fa = acompile_float st lookup a
+          and fb = acompile_float st lookup b in
           fun t -> if fc t <> 0 then fa t else fb t
       | Call (fname, args) -> (
-          let fargs = List.map (compile_float ~count st lookup) args in
+          let fargs = List.map (acompile_float ~count st lookup) args in
           match (fname, fargs) with
-          | ("sqrt", [ a ]) -> fun t -> sqrt (a t)
-          | ("fabs", [ a ]) | ("abs", [ a ]) -> fun t -> Float.abs (a t)
-          | ("exp", [ a ]) -> fun t -> exp (a t)
-          | ("log", [ a ]) -> fun t -> log (a t)
-          | ("sin", [ a ]) -> fun t -> sin (a t)
-          | ("cos", [ a ]) -> fun t -> cos (a t)
-          | ("pow", [ a; b ]) -> fun t -> Float.pow (a t) (b t)
-          | (("min" | "fmin"), [ a; b ]) -> fun t -> Float.min (a t) (b t)
-          | (("max" | "fmax"), [ a; b ]) -> fun t -> Float.max (a t) (b t)
-          | ("fma", [ a; b; c ]) -> fun t -> Float.fma (a t) (b t) (c t)
+          | ("sqrt", [ a ]) ->
+              fun t ->
+                a t;
+                acc.Simc.v <- sqrt acc.Simc.v
+          | ("fabs", [ a ]) | ("abs", [ a ]) ->
+              fun t ->
+                a t;
+                acc.Simc.v <- Float.abs acc.Simc.v
+          | ("exp", [ a ]) ->
+              fun t ->
+                a t;
+                acc.Simc.v <- exp acc.Simc.v
+          | ("log", [ a ]) ->
+              fun t ->
+                a t;
+                acc.Simc.v <- log acc.Simc.v
+          | ("sin", [ a ]) ->
+              fun t ->
+                a t;
+                acc.Simc.v <- sin acc.Simc.v
+          | ("cos", [ a ]) ->
+              fun t ->
+                a t;
+                acc.Simc.v <- cos acc.Simc.v
+          | ("pow", [ a; b ]) ->
+              fun t ->
+                a t;
+                let x = acc.Simc.v in
+                b t;
+                acc.Simc.v <- Float.pow x acc.Simc.v
+          | (("min" | "fmin"), [ a; b ]) ->
+              (* Stdlib [Float.min] inlined (its indirect call would box
+                 both arguments): same -0.0 / nan discipline, bit for bit *)
+              fun t ->
+                a t;
+                let x = acc.Simc.v in
+                b t;
+                let y = acc.Simc.v in
+                acc.Simc.v <-
+                  (if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+                     if y <> y then y else x
+                   else if x <> x then x
+                   else y)
+          | (("max" | "fmax"), [ a; b ]) ->
+              (* Stdlib [Float.max] inlined, same rationale *)
+              fun t ->
+                a t;
+                let x = acc.Simc.v in
+                b t;
+                let y = acc.Simc.v in
+                acc.Simc.v <-
+                  (if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+                     if x <> x then x else y
+                   else if y <> y then y
+                   else x)
+          | ("fma", [ a; b; c ]) ->
+              fun t ->
+                a t;
+                let x = acc.Simc.v in
+                b t;
+                let y = acc.Simc.v in
+                c t;
+                acc.Simc.v <- Float.fma x y acc.Simc.v
           | _ ->
               err st
                 (Printf.sprintf "unsupported function %s/%d" fname (List.length args)))
@@ -543,63 +837,74 @@ and compile_thread_stmt st lookup s : int -> unit =
               let f = compile_int st lookup e in
               if st.fast then fun t -> Array.unsafe_set arr t (f t) else fun t -> arr.(t) <- f t)
       | Float_slot slot ->
-          (* fast mode: count the statement's global reads statically and
-             bump the byte counter once per execution instead of once per
-             read (the per-read order is only observable on an aborting
-             launch, whose stats are unspecified) *)
-          let sreads = if st.fast then static_read_count lookup e else None in
-          let rb = match sreads with Some k -> 8 * k | None -> 0 in
-          let f = compile_float ~count:(sreads = None) st lookup e in
           let flops = float_of_int (float_flops lookup e) in
           let arr = st.fregs.(slot) in
-          if st.fast then
-            if rb = 0 && flops = 0.0 then fun t -> Array.unsafe_set arr t (f t)
+          if st.fast then begin
+            (* fast mode: count the statement's global reads statically
+               and bump the byte counter once per execution instead of
+               once per read (the per-read order is only observable on an
+               aborting launch, whose stats are unspecified); flops go to
+               the unboxed [flacc] accumulator, folded into [stats.flops]
+               at block exit *)
+            let sreads = static_read_count lookup e in
+            let rb = match sreads with Some k -> 8 * k | None -> 0 in
+            let f = acompile_float ~count:(sreads = None) st lookup e in
+            let acc = st.acc and fl = st.flacc in
+            if rb = 0 && flops = 0.0 then
+              fun t ->
+                f t;
+                Array.unsafe_set arr t acc.Simc.v
             else if rb = 0 then
               fun t ->
-                Array.unsafe_set arr t (f t);
-                stats.flops <- stats.flops +. flops
+                f t;
+                Array.unsafe_set arr t acc.Simc.v;
+                fl.Simc.v <- fl.Simc.v +. flops
             else if flops = 0.0 then
               fun t ->
-                Array.unsafe_set arr t (f t);
+                f t;
+                Array.unsafe_set arr t acc.Simc.v;
                 stats.global_read_bytes <- stats.global_read_bytes + rb
             else
               fun t ->
-                Array.unsafe_set arr t (f t);
+                f t;
+                Array.unsafe_set arr t acc.Simc.v;
                 stats.global_read_bytes <- stats.global_read_bytes + rb;
-                stats.flops <- stats.flops +. flops
-          else if flops = 0.0 then fun t -> arr.(t) <- f t
+                fl.Simc.v <- fl.Simc.v +. flops
+          end
           else
-            fun t ->
-              arr.(t) <- f t;
-              stats.flops <- stats.flops +. flops
+            let f = compile_float st lookup e in
+            if flops = 0.0 then fun t -> arr.(t) <- f t
+            else
+              fun t ->
+                arr.(t) <- f t;
+                stats.flops <- stats.flops +. flops
       | _ -> err st (Printf.sprintf "assignment to non-scalar %s" v))
   | Assign (Lindex (a, idxs), e) -> (
       match lookup a with
-      | Global data -> (
+      | Global data when st.fast -> (
           let single =
             match idxs with
             | [ i ] -> i
             | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
           in
-          let sreads = if st.fast then static_read_count lookup e else None in
+          let sreads = static_read_count lookup e in
           let rb = match sreads with Some k -> 8 * k | None -> 0 in
-          let rhs = compile_float ~count:(sreads = None) st lookup e in
+          let rhs = acompile_float ~count:(sreads = None) st lookup e in
           let flops = float_of_int (float_flops lookup e) in
-          let n = Array.length data in
+          let n = A1.dim data in
           let touched = usage_flag st.write_flags a in
           let oob i =
             err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
           in
+          let acc = st.acc and fl = st.flacc in
           let slot v = match lookup v with Int_slot s -> Some st.iregs.(s) | _ -> None in
           let fused =
-            if not st.fast then None
-            else
-              match single with
-              | Var v -> Option.map (fun arr -> (arr, 0)) (slot v)
-              | Binop (Add, Var v, Int_lit c) | Binop (Add, Int_lit c, Var v) ->
-                  Option.map (fun arr -> (arr, c)) (slot v)
-              | Binop (Sub, Var v, Int_lit c) -> Option.map (fun arr -> (arr, -c)) (slot v)
-              | _ -> None
+            match single with
+            | Var v -> Option.map (fun arr -> (arr, 0)) (slot v)
+            | Binop (Add, Var v, Int_lit c) | Binop (Add, Int_lit c, Var v) ->
+                Option.map (fun arr -> (arr, c)) (slot v)
+            | Binop (Sub, Var v, Int_lit c) -> Option.map (fun arr -> (arr, -c)) (slot v)
+            | _ -> None
           in
           match fused with
           | Some (arr, off) when rb = 0 ->
@@ -607,9 +912,10 @@ and compile_thread_stmt st lookup s : int -> unit =
                 let i = Array.unsafe_get arr t + off in
                 if i < 0 || i >= n then oob i
                 else begin
-                  Array.unsafe_set data i (rhs t);
+                  rhs t;
+                  A1.unsafe_set data i acc.Simc.v;
                   stats.global_write_bytes <- stats.global_write_bytes + 8;
-                  stats.flops <- stats.flops +. flops;
+                  fl.Simc.v <- fl.Simc.v +. flops;
                   touched := true
                 end
           | Some (arr, off) ->
@@ -617,46 +923,69 @@ and compile_thread_stmt st lookup s : int -> unit =
                 let i = Array.unsafe_get arr t + off in
                 if i < 0 || i >= n then oob i
                 else begin
-                  Array.unsafe_set data i (rhs t);
+                  rhs t;
+                  A1.unsafe_set data i acc.Simc.v;
                   stats.global_read_bytes <- stats.global_read_bytes + rb;
                   stats.global_write_bytes <- stats.global_write_bytes + 8;
-                  stats.flops <- stats.flops +. flops;
+                  fl.Simc.v <- fl.Simc.v +. flops;
                   touched := true
                 end
           | None ->
               let idx = compile_int st lookup single in
-              if st.fast then
-                fun t ->
-                  let i = idx t in
-                  if i < 0 || i >= n then oob i
-                  else begin
-                    Array.unsafe_set data i (rhs t);
-                    stats.global_read_bytes <- stats.global_read_bytes + rb;
-                    stats.global_write_bytes <- stats.global_write_bytes + 8;
-                    stats.flops <- stats.flops +. flops;
-                    touched := true
-                  end
-              else
-                fun t ->
-                  let i = idx t in
-                  if i < 0 || i >= n then oob i
-                  else begin
-                    (match !access_trace with Some f -> f ~write:true a i | None -> ());
-                    data.(i) <- rhs t;
-                    stats.global_write_bytes <- stats.global_write_bytes + 8;
-                    stats.flops <- stats.flops +. flops;
-                    touched := true
-                  end)
-      | Shared (slot, dims) ->
-          let idx_fns = List.map (compile_int st lookup) idxs in
+              fun t ->
+                let i = idx t in
+                if i < 0 || i >= n then oob i
+                else begin
+                  rhs t;
+                  A1.unsafe_set data i acc.Simc.v;
+                  stats.global_read_bytes <- stats.global_read_bytes + rb;
+                  stats.global_write_bytes <- stats.global_write_bytes + 8;
+                  fl.Simc.v <- fl.Simc.v +. flops;
+                  touched := true
+                end)
+      | Global data ->
+          let single =
+            match idxs with
+            | [ i ] -> i
+            | _ -> err st (Printf.sprintf "global array %s must use a single linearized index" a)
+          in
           let rhs = compile_float st lookup e in
           let flops = float_of_int (float_flops lookup e) in
+          let n = A1.dim data in
+          let touched = usage_flag st.write_flags a in
+          let idx = compile_int st lookup single in
           fun t ->
-            let addr = shared_addr st dims idx_fns a t in
-            st.shmem.(slot).(addr) <- rhs t;
-            st.sh_writer.(slot).(addr) <- t;
-            st.sh_epoch.(slot).(addr) <- st.epoch;
-            stats.flops <- stats.flops +. flops
+            let i = idx t in
+            if i < 0 || i >= n then
+              err st (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
+            else begin
+              (match !access_trace with Some f -> f ~write:true a i | None -> ());
+              A1.unsafe_set data i (rhs t);
+              stats.global_write_bytes <- stats.global_write_bytes + 8;
+              stats.flops <- stats.flops +. flops;
+              touched := true
+            end
+      | Shared (slot, dims) ->
+          let idx_fns = List.map (compile_int st lookup) idxs in
+          let flops = float_of_int (float_flops lookup e) in
+          if st.fast then
+            let rhs = acompile_float st lookup e in
+            let acc = st.acc and fl = st.flacc in
+            fun t ->
+              let addr = shared_addr st dims idx_fns a t in
+              rhs t;
+              st.shmem.(slot).(addr) <- acc.Simc.v;
+              st.sh_writer.(slot).(addr) <- t;
+              st.sh_epoch.(slot).(addr) <- st.epoch;
+              fl.Simc.v <- fl.Simc.v +. flops
+          else
+            let rhs = compile_float st lookup e in
+            fun t ->
+              let addr = shared_addr st dims idx_fns a t in
+              st.shmem.(slot).(addr) <- rhs t;
+              st.sh_writer.(slot).(addr) <- t;
+              st.sh_epoch.(slot).(addr) <- st.epoch;
+              stats.flops <- stats.flops +. flops
       | _ -> err st (Printf.sprintf "%s is not an array" a))
   | If (c, tb, eb) ->
       let fc = compile_cond st lookup c in
@@ -1053,6 +1382,8 @@ let launch_ext ?engine ?(affine = true) ?backend ?trace mem prog (l : launch) =
         fast = affine;
         read_flags = Hashtbl.create 8;
         write_flags = Hashtbl.create 8;
+        acc = { Simc.v = 0.0 };
+        flacc = { Simc.v = 0.0 };
       }
     in
     let lookup v =
@@ -1074,6 +1405,10 @@ let launch_ext ?engine ?(affine = true) ?backend ?trace mem prog (l : launch) =
       Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) st.sh_epoch;
       exec_lockstep st compiled;
       Array.iter (fun alive -> if alive then stats.threads_active <- stats.threads_active + 1) st.alive;
+      (* fold the fast path's unboxed flop accumulator into the stats
+         record once per block — [base] saw the previous block's fold, so
+         the delta below is exactly this block's contribution *)
+      if st.fast then stats.flops <- st.flacc.Simc.v;
       per_block.(b) <- diff_stats stats base
     done;
     let observed tbl = Hashtbl.fold (fun p r acc -> if !r then p :: acc else acc) tbl [] in

@@ -1,21 +1,170 @@
 open Kft_cuda.Ast
 
-type entry = { data : float array; edims : int list }
+module A1 = Bigarray.Array1
 
-type t = (string, entry) Hashtbl.t
+(* Off-heap storage: the GC never scans a Bigarray's payload, so
+   multi-hundred-KB grids cost nothing per minor collection, and
+   [A1.blit] over float64 is a straight memcpy. float64 Bigarray cells
+   and [float array] cells are the same IEEE-754 doubles, so swapping
+   the representation cannot perturb a single bit of any result. *)
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+let alloc_buf n : buf = A1.create Bigarray.Float64 Bigarray.C_layout n
+
+let empty_buf : buf = alloc_buf 0
+
+type entry = { data : buf; edims : int list }
+
+(* One contiguous arena per memory; every entry is a zero-copy
+   [A1.sub] view into it, laid out in sorted name order (the same
+   packing order snapshots have always used). [directory] rows are
+   (name, dims, offset); a row's length is the next row's offset (or
+   [total]) minus its own. *)
+type t = {
+  arena : buf;  (** may be larger than [total] when recycled from the pool *)
+  total : int;  (** cells actually used, starting at offset 0 *)
+  directory : (string * int list * int) array;
+  tbl : (string, entry) Hashtbl.t;
+  mutable released : bool;
+}
 
 exception Unknown_array of string
 
+(* ------------------------------------------------------------------ *)
+(* Arena pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type stats = {
+    requests : int;  (** arena acquisitions: create + copy + restore *)
+    hits : int;  (** served by recycling a released arena *)
+    misses : int;  (** served by a fresh allocation *)
+    cells_requested : int;  (** total cells across all requests *)
+    high_water : int;  (** peak cells simultaneously checked out *)
+  }
+
+  let m = Mutex.create ()
+
+  (* free arenas sorted by capacity ascending, so acquisition is
+     smallest-fit: the first arena large enough wins, keeping big
+     arenas available for big requests *)
+  let free : buf list ref = ref []
+
+  (* bound the arenas we hoard: a long bench run cycles through many
+     differently-sized programs, and beyond this depth recycling stops
+     paying for the retained address space. A dropped arena is freed by
+     the Bigarray finalizer like any other. *)
+  let max_free = 32
+
+  let requests = ref 0
+  let hits = ref 0
+  let misses = ref 0
+  let cells_requested = ref 0
+  let live = ref 0
+  let high_water = ref 0
+
+  let stats () =
+    Mutex.protect m (fun () ->
+        {
+          requests = !requests;
+          hits = !hits;
+          misses = !misses;
+          cells_requested = !cells_requested;
+          high_water = !high_water;
+        })
+
+  let reset () =
+    Mutex.protect m (fun () ->
+        free := [];
+        requests := 0;
+        hits := 0;
+        misses := 0;
+        cells_requested := 0;
+        live := 0;
+        high_water := 0)
+
+  let acquire n =
+    Mutex.protect m (fun () ->
+        incr requests;
+        cells_requested := !cells_requested + n;
+        let rec take acc = function
+          | [] -> None
+          | a :: rest when A1.dim a >= n ->
+              free := List.rev_append acc rest;
+              Some a
+          | a :: rest -> take (a :: acc) rest
+        in
+        let arena =
+          match take [] !free with
+          | Some a ->
+              incr hits;
+              a
+          | None ->
+              incr misses;
+              alloc_buf n
+        in
+        live := !live + A1.dim arena;
+        if !live > !high_water then high_water := !live;
+        arena)
+
+  let release_arena a =
+    Mutex.protect m (fun () ->
+        live := !live - A1.dim a;
+        if List.length !free < max_free then begin
+          let d = A1.dim a in
+          let rec insert = function
+            | [] -> [ a ]
+            | b :: rest when A1.dim b >= d -> a :: b :: rest
+            | b :: rest -> b :: insert rest
+          in
+          free := insert !free
+        end)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the view table over [arena] from a directory whose offsets are
+   a packed prefix of length [total]. The directory is immutable and is
+   shared freely between memories and snapshots. *)
+let of_arena arena total directory =
+  let n = Array.length directory in
+  let tbl = Hashtbl.create (max 32 n) in
+  Array.iteri
+    (fun i (name, edims, off) ->
+      let next = if i + 1 < n then (fun (_, _, o) -> o) directory.(i + 1) else total in
+      Hashtbl.replace tbl name { data = A1.sub arena off (next - off); edims })
+    directory;
+  { arena; total; directory; tbl; released = false }
+
 let create decls =
-  let t = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
   List.iter
     (fun d ->
-      if Hashtbl.mem t d.a_name then invalid_arg ("Memory.create: duplicate array " ^ d.a_name);
+      if Hashtbl.mem seen d.a_name then
+        invalid_arg ("Memory.create: duplicate array " ^ d.a_name);
       if d.a_elem_ty <> Double then
         invalid_arg ("Memory.create: only double arrays are supported: " ^ d.a_name);
-      Hashtbl.replace t d.a_name { data = Array.make (array_cells d) 0.0; edims = d.a_dims })
+      Hashtbl.replace seen d.a_name ())
     decls;
-  t
+  let sorted = List.sort (fun a b -> compare a.a_name b.a_name) decls in
+  let off = ref 0 in
+  let directory =
+    List.map
+      (fun d ->
+        let row = (d.a_name, d.a_dims, !off) in
+        off := !off + array_cells d;
+        row)
+      sorted
+    |> Array.of_list
+  in
+  let total = !off in
+  let arena = Pool.acquire total in
+  (* [A1.create] does not zero memory (and a recycled arena holds the
+     previous tenant's data): restore the zero-initialized contract *)
+  A1.fill (A1.sub arena 0 total) 0.0;
+  of_arena arena total directory
 
 (* splitmix64-style hash, kept in int range *)
 let mix h =
@@ -28,68 +177,68 @@ let init_seeded t ~seed =
   Hashtbl.iter
     (fun name e ->
       let name_hash = Hashtbl.hash name in
-      Array.iteri
-        (fun i _ ->
-          let h = mix (seed + (name_hash * 31) + (i * 2654435761)) in
-          (* values in (-1, 1), never exactly 0 to catch masking bugs *)
-          e.data.(i) <- (float_of_int (h land 0xFFFFF) +. 1.0) /. 1048577.0 *. (if h land 0x100000 = 0 then 1.0 else -1.0))
-        e.data)
-    t
+      for i = 0 to A1.dim e.data - 1 do
+        let h = mix (seed + (name_hash * 31) + (i * 2654435761)) in
+        (* values in (-1, 1), never exactly 0 to catch masking bugs *)
+        A1.unsafe_set e.data i
+          ((float_of_int (h land 0xFFFFF) +. 1.0)
+          /. 1048577.0
+          *. (if h land 0x100000 = 0 then 1.0 else -1.0))
+      done)
+    t.tbl
 
 let find t name =
-  match Hashtbl.find_opt t name with
+  if t.released then invalid_arg ("Memory.find: use after release: " ^ name);
+  match Hashtbl.find_opt t.tbl name with
   | Some e -> e
   | None -> raise (Unknown_array name)
 
 let get t name = (find t name).data
 
+let get_array t name =
+  let b = (find t name).data in
+  Array.init (A1.dim b) (fun i -> A1.unsafe_get b i)
+
 let dims t name = (find t name).edims
 
-let mem t name = Hashtbl.mem t name
+let mem t name = Hashtbl.mem t.tbl name
 
-let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+let names t = Array.to_list (Array.map (fun (n, _, _) -> n) t.directory)
 
 let copy t =
-  let t' = Hashtbl.create (Hashtbl.length t) in
-  Hashtbl.iter (fun k e -> Hashtbl.replace t' k { e with data = Array.copy e.data }) t;
-  t'
+  if t.released then invalid_arg "Memory.copy: use after release";
+  let arena = Pool.acquire t.total in
+  A1.blit (A1.sub t.arena 0 t.total) (A1.sub arena 0 t.total);
+  of_arena arena t.total t.directory
 
-(* Snapshots pack every array into one contiguous buffer (entries in
-   sorted name order, so snapshots of equal memories are structurally
-   equal). Capture and restore are pure [Array.blit]s over float arrays —
-   no per-element boxing, no serialization — which is what makes cache
-   replay (Metadata.Sim_cache) cheap enough to matter. *)
-type snapshot = { s_entries : (string * int list * int) array; s_buf : float array }
+let release t =
+  if t.released then invalid_arg "Memory.release: memory already released";
+  t.released <- true;
+  Hashtbl.reset t.tbl;
+  Pool.release_arena t.arena
+
+(* Snapshots reuse the arena layout directly: entries are already
+   packed in sorted name order, so capture is one [A1.blit] of the used
+   prefix into a fresh exact-size buffer (not pooled — snapshots live
+   indefinitely inside Metadata.Sim_cache, and parking them in the pool
+   would leak them out of cache entries). Restore is the mirror blit
+   into a pooled arena. *)
+type snapshot = {
+  s_directory : (string * int list * int) array;
+  s_total : int;
+  s_buf : buf;
+}
 
 let snapshot t =
-  let names_sorted = names t in
-  let total = List.fold_left (fun acc n -> acc + Array.length (get t n)) 0 names_sorted in
-  let buf = Array.make total 0.0 in
-  let off = ref 0 in
-  let entries =
-    List.map
-      (fun n ->
-        let e = find t n in
-        let len = Array.length e.data in
-        Array.blit e.data 0 buf !off len;
-        let entry = (n, e.edims, !off) in
-        off := !off + len;
-        entry)
-      names_sorted
-  in
-  { s_entries = Array.of_list entries; s_buf = buf }
+  if t.released then invalid_arg "Memory.snapshot: use after release";
+  let buf = alloc_buf t.total in
+  A1.blit (A1.sub t.arena 0 t.total) buf;
+  { s_directory = t.directory; s_total = t.total; s_buf = buf }
 
 let restore s =
-  let t = Hashtbl.create (Array.length s.s_entries) in
-  let n = Array.length s.s_entries in
-  Array.iteri
-    (fun i (name, edims, off) ->
-      let next = if i + 1 < n then (fun (_, _, o) -> o) s.s_entries.(i + 1) else Array.length s.s_buf in
-      let data = Array.make (next - off) 0.0 in
-      Array.blit s.s_buf off data 0 (next - off);
-      Hashtbl.replace t name { data; edims })
-    s.s_entries;
-  t
+  let arena = Pool.acquire s.s_total in
+  A1.blit s.s_buf (A1.sub arena 0 s.s_total);
+  of_arena arena s.s_total s.s_directory
 
 let max_abs_diff a b =
   List.sort_uniq compare (names a @ names b)
@@ -97,10 +246,13 @@ let max_abs_diff a b =
          if not (mem a n && mem b n) then (n, infinity)
          else
            let da = get a n and db = get b n in
-           if Array.length da <> Array.length db then (n, infinity)
+           if A1.dim da <> A1.dim db then (n, infinity)
            else begin
              let m = ref 0.0 in
-             Array.iteri (fun i v -> m := max !m (Float.abs (v -. db.(i)))) da;
+             for i = 0 to A1.dim da - 1 do
+               let d = Float.abs (A1.unsafe_get da i -. A1.unsafe_get db i) in
+               if d > !m then m := d
+             done;
              (n, !m)
            end)
 

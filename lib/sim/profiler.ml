@@ -64,6 +64,10 @@ let verify ?engine ?affine ?backend ?trace ?(seed = 42) ?(tol = 1e-9) device ~or
       (fun (n, d) -> Memory.mem m1 n && Memory.mem m2 n && d > tol)
       (Memory.max_abs_diff m1 m2)
   in
+  (* both memories are private to this verification: recycle their
+     arenas instead of waiting for the GC *)
+  Memory.release m1;
+  Memory.release m2;
   if diffs = [] then Ok () else Error diffs
 
 let speedup ~original ~transformed =

@@ -64,6 +64,14 @@ let diff_stats cur base =
 
 exception Sim_error of { kernel : string; message : string }
 
+(* Single-float-field record: OCaml stores the field flat (unboxed), so
+   [acc.v <- x] is a plain store. The fast-path float compilers thread
+   one of these through every compiled closure instead of returning
+   floats — a float returned across an indirect closure call is boxed
+   (an allocation per call), which is exactly what the steady-state
+   zero-allocation contract of the affine/vector paths forbids. *)
+type facc = { mutable v : float }
+
 (* ------------------------------------------------------------------ *)
 (* Compilation environment                                             *)
 (* ------------------------------------------------------------------ *)
@@ -73,7 +81,7 @@ type binding =
   | Const_float of float
   | Int_slot of int
   | Float_slot of int
-  | Global of float array
+  | Global of Memory.buf
   | Shared of int * int list  (* slot, declared dims *)
 
 let usage_flag tbl name =

@@ -47,6 +47,7 @@
 open Kft_cuda.Ast
 module Engine = Kft_engine.Engine
 module S = Simc
+module A1 = Bigarray.Array1
 
 (* Installed by kft_absint at link time (the sim library cannot depend
    on the analyzer without a cycle): returns true when every global
@@ -148,7 +149,7 @@ let prepare prog (l : launch) : prep option =
       (fun (p, a) ->
         let b =
           match a with
-          | Arg_array _ -> S.Global [||]  (* placeholder, rebound per run *)
+          | Arg_array _ -> S.Global Memory.empty_buf  (* placeholder, rebound per run *)
           | Arg_int i -> S.Const_int i
           | Arg_double f -> S.Const_float f
         in
@@ -261,6 +262,15 @@ type env = {
   lookup : string -> S.binding;
   read_flags : (string, bool ref) Hashtbl.t;
   write_flags : (string, bool ref) Hashtbl.t;
+  acc : S.facc;
+      (* float-expression accumulator: compiled float closures are
+         [unit -> unit] writing here instead of returning a float (a
+         float return across an indirect call is boxed — an allocation
+         per expression node per thread, which the steady-state
+         zero-allocation contract forbids) *)
+  flacc : S.facc;
+      (* flop accumulator; folded into [stats.flops] once per block (a
+         [float] store into the mixed [stats] record boxes) *)
 }
 
 let err env msg = raise (S.Sim_error { kernel = env.kname; message = msg })
@@ -352,19 +362,50 @@ let rec compile_int env e : unit -> int =
 and compile_cond env e : unit -> int =
   match e with
   | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b)
-    when S.join (S.ty_of env.lookup a) (S.ty_of env.lookup b) = S.EFloat ->
+    when S.join (S.ty_of env.lookup a) (S.ty_of env.lookup b) = S.EFloat -> (
+      (* accumulator form with a direct (monomorphic, allocation-free)
+         comparison per operator: a generic [float -> float -> bool]
+         closure would box both arguments at every call *)
+      let acc = env.acc in
       let fa = compile_float env a and fb = compile_float env b in
-      let cmp : float -> float -> bool =
-        match op with
-        | Lt -> ( < )
-        | Le -> ( <= )
-        | Gt -> ( > )
-        | Ge -> ( >= )
-        | Eq -> ( = )
-        | Ne -> ( <> )
-        | _ -> assert false
-      in
-      fun () -> if cmp (fa ()) (fb ()) then 1 else 0
+      match op with
+      | Lt ->
+          fun () ->
+            fa ();
+            let x = acc.S.v in
+            fb ();
+            if x < acc.S.v then 1 else 0
+      | Le ->
+          fun () ->
+            fa ();
+            let x = acc.S.v in
+            fb ();
+            if x <= acc.S.v then 1 else 0
+      | Gt ->
+          fun () ->
+            fa ();
+            let x = acc.S.v in
+            fb ();
+            if x > acc.S.v then 1 else 0
+      | Ge ->
+          fun () ->
+            fa ();
+            let x = acc.S.v in
+            fb ();
+            if x >= acc.S.v then 1 else 0
+      | Eq ->
+          fun () ->
+            fa ();
+            let x = acc.S.v in
+            fb ();
+            if x = acc.S.v then 1 else 0
+      | Ne ->
+          fun () ->
+            fa ();
+            let x = acc.S.v in
+            fb ();
+            if x <> acc.S.v then 1 else 0
+      | _ -> assert false)
   | Binop (And, a, b) ->
       let fa = compile_cond env a and fb = compile_cond env b in
       fun () -> if fa () <> 0 && fb () <> 0 then 1 else 0
@@ -376,29 +417,37 @@ and compile_cond env e : unit -> int =
       fun () -> if f () = 0 then 1 else 0
   | e -> compile_int env e
 
-(* [count = false]: the caller statically counted this statement's
+(* Accumulator float compilation: closures deposit their result in
+   [env.acc] instead of returning it, so the steady-state inner loop
+   performs no allocation at all (a float returned across an indirect
+   call is boxed by the compiler). Every combination saves the left
+   operand in an unboxed local between the two accumulator runs,
+   reproducing the reference's left-associative evaluation — and
+   therefore its rounding — bit for bit.
+   [count = false]: the caller statically counted this statement's
    global reads and bumps [global_read_bytes] once per execution; only
-   valid when the read count is not data-dependent. Same contract and
-   the same left-associative float compilation — hence the same rounding
-   — as the reference interpreter. *)
-and compile_float ?(count = true) env e : unit -> float =
+   valid when the read count is not data-dependent. *)
+and compile_float ?(count = true) env e : unit -> unit =
+  let acc = env.acc in
   match S.ty_of env.lookup e with
   | S.EInt ->
       let f = compile_int env e in
-      fun () -> float_of_int (f ())
+      fun () -> acc.S.v <- float_of_int (f ())
   | S.EFloat -> (
       match e with
-      | Double_lit f -> fun () -> f
+      | Double_lit f -> fun () -> acc.S.v <- f
       | Var v -> (
           match env.lookup v with
-          | S.Const_float f -> fun () -> f
+          | S.Const_float f -> fun () -> acc.S.v <- f
           | S.Float_slot s ->
               let fr = env.lane.fr in
-              fun () -> Array.unsafe_get fr s
-          | S.Const_int i -> fun () -> float_of_int i
+              fun () -> acc.S.v <- Array.unsafe_get fr s
+          | S.Const_int i ->
+              let f = float_of_int i in
+              fun () -> acc.S.v <- f
           | S.Int_slot s ->
               let ir = env.lane.ir in
-              fun () -> float_of_int (Array.unsafe_get ir s)
+              fun () -> acc.S.v <- float_of_int (Array.unsafe_get ir s)
           | S.Global _ | S.Shared _ ->
               err env (Printf.sprintf "array %s used as scalar" v))
       | Index (a, idxs) -> (
@@ -411,7 +460,7 @@ and compile_float ?(count = true) env e : unit -> float =
                     err env
                       (Printf.sprintf "global array %s must use a single linearized index" a)
               in
-              let n = Array.length data in
+              let n = A1.dim data in
               let stats = env.stats in
               let touched = S.usage_flag env.read_flags a in
               let oob i =
@@ -436,11 +485,11 @@ and compile_float ?(count = true) env e : unit -> float =
                   fun () ->
                     stats.global_read_bytes <- stats.global_read_bytes + 8;
                     touched := true;
-                    Array.unsafe_get data (Array.unsafe_get ir s + off)
+                    acc.S.v <- A1.unsafe_get data (Array.unsafe_get ir s + off)
               | Some (s, off), true, false ->
                   fun () ->
                     touched := true;
-                    Array.unsafe_get data (Array.unsafe_get ir s + off)
+                    acc.S.v <- A1.unsafe_get data (Array.unsafe_get ir s + off)
               | Some (s, off), false, true ->
                   fun () ->
                     let i = Array.unsafe_get ir s + off in
@@ -448,7 +497,7 @@ and compile_float ?(count = true) env e : unit -> float =
                     else begin
                       stats.global_read_bytes <- stats.global_read_bytes + 8;
                       touched := true;
-                      Array.unsafe_get data i
+                      acc.S.v <- A1.unsafe_get data i
                     end
               | Some (s, off), false, false ->
                   fun () ->
@@ -456,7 +505,7 @@ and compile_float ?(count = true) env e : unit -> float =
                     if i < 0 || i >= n then oob i
                     else begin
                       touched := true;
-                      Array.unsafe_get data i
+                      acc.S.v <- A1.unsafe_get data i
                     end
               | None, unsafe, count -> (
                   let idx = compile_int env single in
@@ -465,11 +514,11 @@ and compile_float ?(count = true) env e : unit -> float =
                       fun () ->
                         stats.global_read_bytes <- stats.global_read_bytes + 8;
                         touched := true;
-                        Array.unsafe_get data (idx ())
+                        acc.S.v <- A1.unsafe_get data (idx ())
                   | true, false ->
                       fun () ->
                         touched := true;
-                        Array.unsafe_get data (idx ())
+                        acc.S.v <- A1.unsafe_get data (idx ())
                   | false, true ->
                       fun () ->
                         let i = idx () in
@@ -477,7 +526,7 @@ and compile_float ?(count = true) env e : unit -> float =
                         else begin
                           stats.global_read_bytes <- stats.global_read_bytes + 8;
                           touched := true;
-                          Array.unsafe_get data i
+                          acc.S.v <- A1.unsafe_get data i
                         end
                   | false, false ->
                       fun () ->
@@ -485,7 +534,7 @@ and compile_float ?(count = true) env e : unit -> float =
                         if i < 0 || i >= n then oob i
                         else begin
                           touched := true;
-                          Array.unsafe_get data i
+                          acc.S.v <- A1.unsafe_get data i
                         end))
           | S.Shared _ -> err env "internal: shared memory on the vector path"
           | _ -> err env (Printf.sprintf "%s indexed but is not an array" a))
@@ -505,39 +554,144 @@ and compile_float ?(count = true) env e : unit -> float =
             List.map
               (fun (sign, term) ->
                 let f = compile_float ~count env term in
-                if sign then f else fun () -> -.f ())
+                if sign then f
+                else
+                  fun () ->
+                    f ();
+                    acc.S.v <- -.acc.S.v)
               (S.sum_terms e [])
           in
           match Array.of_list fns with
-          | [| a; b; c |] -> fun () -> a () +. b () +. c ()
-          | [| a; b; c; d |] -> fun () -> a () +. b () +. c () +. d ()
-          | [| a; b; c; d; e |] -> fun () -> a () +. b () +. c () +. d () +. e ()
-          | [| a; b; c; d; e; f |] -> fun () -> a () +. b () +. c () +. d () +. e () +. f ()
+          | [| a; b; c |] ->
+              fun () ->
+                a ();
+                let s = acc.S.v in
+                b ();
+                let s = s +. acc.S.v in
+                c ();
+                acc.S.v <- s +. acc.S.v
+          | [| a; b; c; d |] ->
+              fun () ->
+                a ();
+                let s = acc.S.v in
+                b ();
+                let s = s +. acc.S.v in
+                c ();
+                let s = s +. acc.S.v in
+                d ();
+                acc.S.v <- s +. acc.S.v
+          | [| a; b; c; d; e |] ->
+              fun () ->
+                a ();
+                let s = acc.S.v in
+                b ();
+                let s = s +. acc.S.v in
+                c ();
+                let s = s +. acc.S.v in
+                d ();
+                let s = s +. acc.S.v in
+                e ();
+                acc.S.v <- s +. acc.S.v
+          | [| a; b; c; d; e; f |] ->
+              fun () ->
+                a ();
+                let s = acc.S.v in
+                b ();
+                let s = s +. acc.S.v in
+                c ();
+                let s = s +. acc.S.v in
+                d ();
+                let s = s +. acc.S.v in
+                e ();
+                let s = s +. acc.S.v in
+                f ();
+                acc.S.v <- s +. acc.S.v
           | [| a; b; c; d; e; f; g |] ->
-              fun () -> a () +. b () +. c () +. d () +. e () +. f () +. g ()
+              fun () ->
+                a ();
+                let s = acc.S.v in
+                b ();
+                let s = s +. acc.S.v in
+                c ();
+                let s = s +. acc.S.v in
+                d ();
+                let s = s +. acc.S.v in
+                e ();
+                let s = s +. acc.S.v in
+                f ();
+                let s = s +. acc.S.v in
+                g ();
+                acc.S.v <- s +. acc.S.v
           | [| a; b; c; d; e; f; g; h |] ->
-              fun () -> a () +. b () +. c () +. d () +. e () +. f () +. g () +. h ()
+              fun () ->
+                a ();
+                let s = acc.S.v in
+                b ();
+                let s = s +. acc.S.v in
+                c ();
+                let s = s +. acc.S.v in
+                d ();
+                let s = s +. acc.S.v in
+                e ();
+                let s = s +. acc.S.v in
+                f ();
+                let s = s +. acc.S.v in
+                g ();
+                let s = s +. acc.S.v in
+                h ();
+                acc.S.v <- s +. acc.S.v
           | _ -> assert false (* arity guarded above *))
       | Binop (Mul, a, b) when S.const_float_of env.lookup a <> None ->
           let c = Option.get (S.const_float_of env.lookup a) in
           let fb = compile_float ~count env b in
-          fun () -> c *. fb ()
+          fun () ->
+            fb ();
+            acc.S.v <- c *. acc.S.v
       | Binop (Mul, a, b) when S.const_float_of env.lookup b <> None ->
           let c = Option.get (S.const_float_of env.lookup b) in
           let fa = compile_float ~count env a in
-          fun () -> fa () *. c
+          fun () ->
+            fa ();
+            acc.S.v <- acc.S.v *. c
       | Binop (op, a, b) -> (
           let fa = compile_float ~count env a and fb = compile_float ~count env b in
           match op with
-          | Add -> fun () -> fa () +. fb ()
-          | Sub -> fun () -> fa () -. fb ()
-          | Mul -> fun () -> fa () *. fb ()
-          | Div -> fun () -> fa () /. fb ()
-          | Mod -> fun () -> Float.rem (fa ()) (fb ())
+          | Add ->
+              fun () ->
+                fa ();
+                let x = acc.S.v in
+                fb ();
+                acc.S.v <- x +. acc.S.v
+          | Sub ->
+              fun () ->
+                fa ();
+                let x = acc.S.v in
+                fb ();
+                acc.S.v <- x -. acc.S.v
+          | Mul ->
+              fun () ->
+                fa ();
+                let x = acc.S.v in
+                fb ();
+                acc.S.v <- x *. acc.S.v
+          | Div ->
+              fun () ->
+                fa ();
+                let x = acc.S.v in
+                fb ();
+                acc.S.v <- x /. acc.S.v
+          | Mod ->
+              fun () ->
+                fa ();
+                let x = acc.S.v in
+                fb ();
+                acc.S.v <- Float.rem x acc.S.v
           | _ -> err env "comparison in float context")
       | Unop (Neg, a) ->
           let f = compile_float ~count env a in
-          fun () -> -.f ()
+          fun () ->
+            f ();
+            acc.S.v <- -.acc.S.v
       | Unop (Not, _) -> err env "logical not in float context"
       | Ternary (c, a, b) ->
           (* branches count per-read, as in the reference: a [Ternary]
@@ -549,16 +703,69 @@ and compile_float ?(count = true) env e : unit -> float =
       | Call (fname, args) -> (
           let fargs = List.map (compile_float ~count env) args in
           match (fname, fargs) with
-          | "sqrt", [ a ] -> fun () -> sqrt (a ())
-          | ("fabs" | "abs"), [ a ] -> fun () -> Float.abs (a ())
-          | "exp", [ a ] -> fun () -> exp (a ())
-          | "log", [ a ] -> fun () -> log (a ())
-          | "sin", [ a ] -> fun () -> sin (a ())
-          | "cos", [ a ] -> fun () -> cos (a ())
-          | "pow", [ a; b ] -> fun () -> Float.pow (a ()) (b ())
-          | ("min" | "fmin"), [ a; b ] -> fun () -> Float.min (a ()) (b ())
-          | ("max" | "fmax"), [ a; b ] -> fun () -> Float.max (a ()) (b ())
-          | "fma", [ a; b; c ] -> fun () -> Float.fma (a ()) (b ()) (c ())
+          | "sqrt", [ a ] ->
+              fun () ->
+                a ();
+                acc.S.v <- sqrt acc.S.v
+          | ("fabs" | "abs"), [ a ] ->
+              fun () ->
+                a ();
+                acc.S.v <- Float.abs acc.S.v
+          | "exp", [ a ] ->
+              fun () ->
+                a ();
+                acc.S.v <- exp acc.S.v
+          | "log", [ a ] ->
+              fun () ->
+                a ();
+                acc.S.v <- log acc.S.v
+          | "sin", [ a ] ->
+              fun () ->
+                a ();
+                acc.S.v <- sin acc.S.v
+          | "cos", [ a ] ->
+              fun () ->
+                a ();
+                acc.S.v <- cos acc.S.v
+          | "pow", [ a; b ] ->
+              fun () ->
+                a ();
+                let x = acc.S.v in
+                b ();
+                acc.S.v <- Float.pow x acc.S.v
+          | ("min" | "fmin"), [ a; b ] ->
+              (* Stdlib [Float.min] inlined (its indirect call would box
+                 both arguments): same -0.0 / nan discipline, bit for bit *)
+              fun () ->
+                a ();
+                let x = acc.S.v in
+                b ();
+                let y = acc.S.v in
+                acc.S.v <-
+                  (if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+                     if y <> y then y else x
+                   else if x <> x then x
+                   else y)
+          | ("max" | "fmax"), [ a; b ] ->
+              (* Stdlib [Float.max] inlined, same rationale *)
+              fun () ->
+                a ();
+                let x = acc.S.v in
+                b ();
+                let y = acc.S.v in
+                acc.S.v <-
+                  (if y > x || ((not (Float.sign_bit y)) && Float.sign_bit x) then
+                     if x <> x then x else y
+                   else if y <> y then y
+                   else x)
+          | "fma", [ a; b; c ] ->
+              fun () ->
+                a ();
+                let x = acc.S.v in
+                b ();
+                let y = acc.S.v in
+                c ();
+                acc.S.v <- Float.fma x y acc.S.v
           | _ ->
               err env (Printf.sprintf "unsupported function %s/%d" fname (List.length args)))
       | Int_lit _ | Builtin _ -> assert false (* EInt-typed *))
@@ -611,20 +818,30 @@ and compile_stmt env s : unit -> unit =
           let f = compile_float ~count:(sreads = None) env e in
           let flops = float_of_int (S.float_flops env.lookup e) in
           let fr = env.lane.fr in
-          if rb = 0 && flops = 0.0 then fun () -> Array.unsafe_set fr slot (f ())
+          let acc = env.acc and fl = env.flacc in
+          (* flops accrue in the unboxed [flacc] cell and are synced to
+             [stats.flops] once per block — a float store into the mixed
+             int/float stats record would box on every statement *)
+          if rb = 0 && flops = 0.0 then
+            fun () ->
+              f ();
+              Array.unsafe_set fr slot acc.S.v
           else if rb = 0 then
             fun () ->
-              Array.unsafe_set fr slot (f ());
-              stats.flops <- stats.flops +. flops
+              f ();
+              Array.unsafe_set fr slot acc.S.v;
+              fl.S.v <- fl.S.v +. flops
           else if flops = 0.0 then
             fun () ->
-              Array.unsafe_set fr slot (f ());
+              f ();
+              Array.unsafe_set fr slot acc.S.v;
               stats.global_read_bytes <- stats.global_read_bytes + rb
           else
             fun () ->
-              Array.unsafe_set fr slot (f ());
+              f ();
+              Array.unsafe_set fr slot acc.S.v;
               stats.global_read_bytes <- stats.global_read_bytes + rb;
-              stats.flops <- stats.flops +. flops
+              fl.S.v <- fl.S.v +. flops
       | _ -> err env (Printf.sprintf "assignment to non-scalar %s" v))
   | Assign (Lindex (a, idxs), e) -> (
       match env.lookup a with
@@ -639,7 +856,8 @@ and compile_stmt env s : unit -> unit =
           let rb = match sreads with Some k -> 8 * k | None -> 0 in
           let rhs = compile_float ~count:(sreads = None) env e in
           let flops = float_of_int (S.float_flops env.lookup e) in
-          let n = Array.length data in
+          let acc = env.acc and fl = env.flacc in
+          let n = A1.dim data in
           let touched = S.usage_flag env.write_flags a in
           let oob i =
             err env (Printf.sprintf "global array %s index %d out of bounds [0,%d)" a i n)
@@ -657,33 +875,33 @@ and compile_stmt env s : unit -> unit =
           match (fused, env.unsafe) with
           | Some (s, off), true ->
               fun () ->
-                let v = rhs () in
-                Array.unsafe_set data (Array.unsafe_get ir s + off) v;
+                rhs ();
+                A1.unsafe_set data (Array.unsafe_get ir s + off) acc.S.v;
                 stats.global_read_bytes <- stats.global_read_bytes + rb;
                 stats.global_write_bytes <- stats.global_write_bytes + 8;
-                stats.flops <- stats.flops +. flops;
+                fl.S.v <- fl.S.v +. flops;
                 touched := true
           | Some (s, off), false ->
               fun () ->
                 let i = Array.unsafe_get ir s + off in
                 if i < 0 || i >= n then oob i
                 else begin
-                  let v = rhs () in
-                  Array.unsafe_set data i v;
+                  rhs ();
+                  A1.unsafe_set data i acc.S.v;
                   stats.global_read_bytes <- stats.global_read_bytes + rb;
                   stats.global_write_bytes <- stats.global_write_bytes + 8;
-                  stats.flops <- stats.flops +. flops;
+                  fl.S.v <- fl.S.v +. flops;
                   touched := true
                 end
           | None, true ->
               let idx = compile_int env single in
               fun () ->
                 let i = idx () in
-                let v = rhs () in
-                Array.unsafe_set data i v;
+                rhs ();
+                A1.unsafe_set data i acc.S.v;
                 stats.global_read_bytes <- stats.global_read_bytes + rb;
                 stats.global_write_bytes <- stats.global_write_bytes + 8;
-                stats.flops <- stats.flops +. flops;
+                fl.S.v <- fl.S.v +. flops;
                 touched := true
           | None, false ->
               let idx = compile_int env single in
@@ -691,11 +909,11 @@ and compile_stmt env s : unit -> unit =
                 let i = idx () in
                 if i < 0 || i >= n then oob i
                 else begin
-                  let v = rhs () in
-                  Array.unsafe_set data i v;
+                  rhs ();
+                  A1.unsafe_set data i acc.S.v;
                   stats.global_read_bytes <- stats.global_read_bytes + rb;
                   stats.global_write_bytes <- stats.global_write_bytes + 8;
-                  stats.flops <- stats.flops +. flops;
+                  fl.S.v <- fl.S.v +. flops;
                   touched := true
                 end)
       | _ -> err env (Printf.sprintf "%s is not an array" a))
@@ -777,7 +995,7 @@ let try_run ?engine mem prog (l : launch) =
               | data ->
                   Hashtbl.replace prep.p_table p (S.Global data);
                   (match find_array prog host with
-                  | decl -> if Array.length data <> array_cells decl then sizes_declared := false
+                  | decl -> if A1.dim data <> array_cells decl then sizes_declared := false
                   | exception Not_found -> sizes_declared := false)
               | exception Memory.Unknown_array name ->
                   raise
@@ -822,6 +1040,8 @@ let try_run ?engine mem prog (l : launch) =
                          { kernel = kernel.k_name; message = "unbound identifier " ^ v }));
             read_flags = Hashtbl.create 8;
             write_flags = Hashtbl.create 8;
+            acc = { S.v = 0.0 };
+            flacc = { S.v = 0.0 };
           }
         in
         let fns, ones, nifs = compile_top env prep.p_body in
@@ -852,6 +1072,9 @@ let try_run ?engine mem prog (l : launch) =
             t := !t + wn
           done;
           stats.threads_active <- stats.threads_active + nthreads;
+          (* flops were accrued in the unboxed [flacc] cell; sync before
+             diffing so the per-block delta is exact *)
+          stats.flops <- env.flacc.S.v;
           per_block.(b) <- S.diff_stats stats base
         done;
         let observed tbl = Hashtbl.fold (fun p r acc -> if !r then p :: acc else acc) tbl [] in

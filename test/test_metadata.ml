@@ -107,10 +107,23 @@ let test_profile_cache_replay () =
   Util.check_float "replayed total time identical" r1.total_time_us r2.total_time_us;
   (* hits return deep copies: mutating a replayed run must not poison the
      cache for later callers *)
-  (Kft_sim.Memory.get r2.memory "A").(0) <- 1e9;
+  (Kft_sim.Memory.get r2.memory "A").{0} <- 1e9;
   let r3 = M.profile ~cache Util.device prog in
   Alcotest.(check bool) "mutation isolated from cache" true
     (Kft_sim.Memory.equal_within ~tol:0.0 r1.memory r3.memory)
+
+let test_cache_key_repr_versioned () =
+  (* the digest is versioned by the memory-representation tag: a key
+     computed under another substrate's tag can never collide with a
+     current key, so old entries read as misses instead of replaying
+     snapshots from a different representation *)
+  let k_cur = M.Sim_cache.key ~seed:42 Util.device prog in
+  let k_cur' = M.Sim_cache.key ~tag:M.Sim_cache.repr_tag ~seed:42 Util.device prog in
+  let k_old = M.Sim_cache.key ~tag:"mem:float-array-v0" ~seed:42 Util.device prog in
+  Alcotest.(check string) "default tag is the current representation" k_cur k_cur';
+  Alcotest.(check bool) "old-representation key misses" true (k_cur <> k_old);
+  Alcotest.(check bool) "current tag names the bigarray substrate" true
+    (M.Sim_cache.repr_tag = "mem:bigarray-arena-v1")
 
 let test_profile_cache_distinguishes_seed () =
   let cache = M.Sim_cache.create () in
@@ -125,6 +138,7 @@ let suite =
     Alcotest.test_case "gather produces entries" `Quick test_gather_entries;
     Alcotest.test_case "profile cache replay" `Quick test_profile_cache_replay;
     Alcotest.test_case "profile cache keyed by seed" `Quick test_profile_cache_distinguishes_seed;
+    Alcotest.test_case "cache key is representation-versioned" `Quick test_cache_key_repr_versioned;
     Alcotest.test_case "shared arrays detected" `Quick test_shared_arrays_detected;
     Alcotest.test_case "operations fields" `Quick test_ops_fields;
     Alcotest.test_case "performance text roundtrip" `Quick test_perf_text_roundtrip;

@@ -25,9 +25,9 @@ let one_kernel_prog src name args_arrays coef =
 let test_memory_basics () =
   let mem = Mem.create [ Util.arr3 dims "A"; Util.arr3 dims "B" ] in
   Alcotest.(check (list string)) "names" [ "A"; "B" ] (Mem.names mem);
-  Alcotest.(check int) "length" cells (Array.length (Mem.get mem "A"));
+  Alcotest.(check int) "length" cells (Bigarray.Array1.dim (Mem.get mem "A"));
   Alcotest.(check bool) "dims" true (Mem.dims mem "A" = [ 16; 8; 4 ]);
-  Util.check_float "zero init" 0.0 (Mem.get mem "A").(0)
+  Util.check_float "zero init" 0.0 (Mem.get mem "A").{0}
 
 let test_memory_seeded_deterministic () =
   let mem1 = Mem.create [ Util.arr3 dims "A" ] and mem2 = Mem.create [ Util.arr3 dims "A" ] in
@@ -36,11 +36,11 @@ let test_memory_seeded_deterministic () =
   Alcotest.(check bool) "same fill" true (Mem.equal_within ~tol:0.0 mem1 mem2);
   Mem.init_seeded mem2 ~seed:8;
   Alcotest.(check bool) "different seed differs" false (Mem.equal_within ~tol:0.0 mem1 mem2);
-  Alcotest.(check bool) "no zeros" true (Array.for_all (fun v -> v <> 0.0) (Mem.get mem1 "A"))
+  Alcotest.(check bool) "no zeros" true (Array.for_all (fun v -> v <> 0.0) (Mem.get_array mem1 "A"))
 
 let test_memory_diff () =
   let mem1 = Mem.create [ Util.arr3 dims "A" ] and mem2 = Mem.create [ Util.arr3 dims "A" ] in
-  (Mem.get mem2 "A").(5) <- 3.5;
+  (Mem.get mem2 "A").{5} <- 3.5;
   (match Mem.max_abs_diff mem1 mem2 with
   | [ ("A", d) ] -> Util.check_float "max diff" 3.5 d
   | _ -> Alcotest.fail "diff shape");
@@ -52,9 +52,9 @@ let test_pointwise_execution () =
       [ "A"; "B"; "C" ] 0.5 in
   let mem = Mem.create prog.p_arrays in
   Mem.init_seeded mem ~seed:1;
-  let a = Array.copy (Mem.get mem "A") and b = Array.copy (Mem.get mem "B") in
+  let a = Mem.get_array mem "A" and b = Mem.get_array mem "B" in
   let stats = I.launch mem prog (Util.launch_of prog "pw") in
-  let c = Mem.get mem "C" in
+  let c = Mem.get_array mem "C" in
   Array.iteri (fun i av -> Util.check_float "c = 0.5(a+b)" (0.5 *. (av +. b.(i))) c.(i)) a;
   Alcotest.(check int) "write bytes" (cells * 8) stats.global_write_bytes;
   Alcotest.(check int) "read bytes" (cells * 2 * 8) stats.global_read_bytes;
@@ -69,10 +69,10 @@ let test_stencil_execution () =
   in
   let mem = Mem.create prog.p_arrays in
   Mem.init_seeded mem ~seed:2;
-  let a = Array.copy (Mem.get mem "A") in
-  let b0 = Array.copy (Mem.get mem "B") in
+  let a = Mem.get_array mem "A" in
+  let b0 = Mem.get_array mem "B" in
   ignore (I.launch mem prog (Util.launch_of prog "st"));
-  let b = Mem.get mem "B" in
+  let b = Mem.get_array mem "B" in
   let nx, ny, _ = dims in
   let idx i j k = ((k * ny) + j) * nx + i in
   for k = 0 to 3 do
@@ -145,9 +145,10 @@ __global__ void stage(const double *A, double *B, int nx, int ny, int nz, double
   let prog = one_kernel_prog src "stage" [ "A"; "B" ] 2.0 in
   let mem = Mem.create prog.p_arrays in
   Mem.init_seeded mem ~seed:3;
-  let a = Array.copy (Mem.get mem "A") in
+  let a = Mem.get_array mem "A" in
   let stats = I.launch mem prog (Util.launch_of prog "stage") in
-  Array.iteri (fun i av -> Util.check_float "staged copy" (2.0 *. av) (Mem.get mem "B").(i)) a;
+  let b = Mem.get_array mem "B" in
+  Array.iteri (fun i av -> Util.check_float "staged copy" (2.0 *. av) b.(i)) a;
   Alcotest.(check int) "shared bytes" (4 * 8 * 8) stats.shared_bytes_per_block;
   Alcotest.(check int) "no hazards with barrier" 0 stats.shared_hazards
 
@@ -212,9 +213,9 @@ __global__ void early(const double *A, double *B, int nx, int ny, int nz, double
   let prog = one_kernel_prog src "early" [ "A"; "B" ] 3.0 in
   let mem = Mem.create prog.p_arrays in
   Mem.init_seeded mem ~seed:4;
-  let a = Array.copy (Mem.get mem "A") in
+  let a = Mem.get_array mem "A" in
   ignore (I.launch mem prog (Util.launch_of prog "early"));
-  Util.check_float "plane written" (3.0 *. a.(0)) (Mem.get mem "B").(0)
+  Util.check_float "plane written" (3.0 *. a.(0)) (Mem.get mem "B").{0}
 
 let test_schedule_runs_in_order () =
   let prog = Util.producer_consumer_program ~dims:(16, 8, 4) ~block:(8, 4, 1) () in
@@ -223,7 +224,7 @@ let test_schedule_runs_in_order () =
   let results = I.run_schedule mem prog in
   Alcotest.(check int) "two launches" 2 (List.length results);
   (* consume must see produce's B values: C = 0.5 * (B_new + A) *)
-  let b = Mem.get mem "B" and a = Mem.get mem "A" and c = Mem.get mem "C" in
+  let b = Mem.get_array mem "B" and a = Mem.get_array mem "A" and c = Mem.get_array mem "C" in
   Array.iteri (fun i bv -> Util.check_float "RAW respected" (0.5 *. (bv +. a.(i))) c.(i)) b
 
 let mk_stats ?(read = 0) ?(write = 0) ?(flops = 0.0) ?(div = 0) ?(evals = 0) ?(blocks = 8)
@@ -369,9 +370,9 @@ __global__ void e(const double *A, double *B, int nx, int ny, int nz, double c) 
   let prog = one_kernel_prog src "e" [ "A"; "B" ] 2.0 in
   let mem = Mem.create prog.p_arrays in
   Mem.init_seeded mem ~seed:11;
-  let a = Array.copy (Mem.get mem "A") in
+  let a = Mem.get_array mem "A" in
   ignore (I.launch mem prog (Util.launch_of prog "e"));
-  (a, Mem.get mem "B")
+  (a, Mem.get_array mem "B")
 
 let test_math_builtins () =
   let a, b = run_expr_kernel "B[j * nx + i] = sqrt(fabs(A[j * nx + i])) + fmax(A[j * nx + i], 0.0);" in
@@ -449,7 +450,7 @@ let test_block_parallel_determinism () =
 let test_unknown_array () =
   let mem = Mem.create [ Util.arr3 dims "A" ] in
   (match Mem.get mem "nope" with
-  | (_ : float array) -> Alcotest.fail "expected Unknown_array"
+  | (_ : Mem.buf) -> Alcotest.fail "expected Unknown_array"
   | exception Mem.Unknown_array name -> Alcotest.(check string) "get carries name" "nope" name);
   match Mem.dims mem "gone" with
   | (_ : int list) -> Alcotest.fail "expected Unknown_array"
@@ -481,10 +482,113 @@ let test_affine_rewrite_structure () =
   Alcotest.(check bool) "rewrite introduces __aff induction variables" true
     (contains (Kft_cuda.Pp.kernel k') "__aff")
 
+(* ------------------------------------------------------------------ *)
+(* Off-heap substrate: snapshots, pooling, lifetime edge cases          *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_length_arrays () =
+  (* a zero-cell array is legal: zero-length view, diffs agree, seeding
+     is a no-op, and it coexists with non-empty neighbours in the arena *)
+  let z = { a_name = "Z"; a_elem_ty = Double; a_dims = [ 0; 4; 4 ] } in
+  let mem1 = Mem.create [ z; Util.arr3 dims "A" ] in
+  let mem2 = Mem.create [ z; Util.arr3 dims "A" ] in
+  Mem.init_seeded mem1 ~seed:3;
+  Mem.init_seeded mem2 ~seed:3;
+  Alcotest.(check int) "zero cells" 0 (Bigarray.Array1.dim (Mem.get mem1 "Z"));
+  Alcotest.(check bool) "dims kept" true (Mem.dims mem1 "Z" = [ 0; 4; 4 ]);
+  Alcotest.(check bool) "equal incl. empty array" true (Mem.equal_within ~tol:0.0 mem1 mem2);
+  (match List.assoc_opt "Z" (Mem.max_abs_diff mem1 mem2) with
+  | Some d -> Util.check_float "empty array diff is 0" 0.0 d
+  | None -> Alcotest.fail "Z missing from diff");
+  let s = Mem.snapshot mem1 in
+  Alcotest.(check bool) "snapshot round-trips empty arrays" true
+    (Mem.equal_within ~tol:0.0 mem1 (Mem.restore s))
+
+let test_snapshot_restore_bit_identity =
+  (* property: snapshot -> arbitrary mutations -> restore yields a
+     memory bit-identical to the capture, and independent of the source *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"snapshot/mutate/restore is bit-exact" ~count:100
+       QCheck.(
+         triple small_nat (list (pair small_nat (float_range (-1e6) 1e6))) small_nat)
+       (fun (seed, writes, extra) ->
+         let decls = [ Util.arr3 dims "A"; Util.arr3 dims "B" ] in
+         let mem = Mem.create decls in
+         Mem.init_seeded mem ~seed;
+         let s = Mem.snapshot mem in
+         let reference = Mem.get_array mem "A" in
+         (* mutate the source after capture: the snapshot must not alias *)
+         List.iter
+           (fun (i, v) ->
+             let b = Mem.get mem (if i mod 2 = 0 then "A" else "B") in
+             b.{i mod cells} <- v)
+           ((extra mod cells, 1e9) :: writes);
+         let r1 = Mem.restore s and r2 = Mem.restore s in
+         let a1 = Mem.get_array r1 "A" in
+         (* restored contents equal the capture exactly *)
+         let eq = a1 = reference in
+         (* restores are independent memories: mutating one leaves the
+            other (and the snapshot) untouched *)
+         (Mem.get r1 "A").{0} <- -12345.0;
+         let r3 = Mem.restore s in
+         let indep = Mem.get_array r2 "A" = reference && Mem.get_array r3 "A" = reference in
+         Mem.release mem;
+         Mem.release r1;
+         Mem.release r2;
+         Mem.release r3;
+         eq && indep))
+
+let test_release_lifecycle () =
+  let mem = Mem.create [ Util.arr3 dims "A" ] in
+  Mem.release mem;
+  (match Mem.get mem "A" with
+  | (_ : Mem.buf) -> Alcotest.fail "expected use-after-release failure"
+  | exception Invalid_argument _ -> ());
+  (match Mem.snapshot mem with
+  | (_ : Mem.snapshot) -> Alcotest.fail "expected snapshot-after-release failure"
+  | exception Invalid_argument _ -> ());
+  (match Mem.copy mem with
+  | (_ : Mem.t) -> Alcotest.fail "expected copy-after-release failure"
+  | exception Invalid_argument _ -> ());
+  match Mem.release mem with
+  | () -> Alcotest.fail "expected double-release failure"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_recycles () =
+  let decls = [ Util.arr3 dims "A"; Util.arr3 dims "B" ] in
+  let s0 = Mem.Pool.stats () in
+  let m1 = Mem.create decls in
+  Mem.init_seeded m1 ~seed:9;
+  let keep = Mem.get_array m1 "A" in
+  Mem.release m1;
+  (* same-size create must recycle the arena just released... *)
+  let m2 = Mem.create decls in
+  let s1 = Mem.Pool.stats () in
+  Alcotest.(check bool) "recycle is a pool hit" true (s1.Mem.Pool.hits > s0.Mem.Pool.hits);
+  (* ...and recycled arenas still honour the zero-init contract *)
+  Alcotest.(check bool) "recycled arena zeroed" true
+    (Array.for_all (fun v -> v = 0.0) (Mem.get_array m2 "A"));
+  Mem.release m2;
+  (* a copy shares contents but not storage *)
+  let m3 = Mem.create decls in
+  Mem.init_seeded m3 ~seed:9;
+  let c = Mem.copy m3 in
+  Alcotest.(check bool) "copy equal" true (Mem.equal_within ~tol:0.0 m3 c);
+  (Mem.get c "A").{1} <- 7.5;
+  Alcotest.(check bool) "copy does not alias" true (Mem.get_array m3 "A" = keep);
+  Mem.release m3;
+  Mem.release c;
+  let s2 = Mem.Pool.stats () in
+  Alcotest.(check bool) "requests monotonic" true (s2.Mem.Pool.requests >= s1.Mem.Pool.requests + 2)
+
 let parallel_suite =
   [
     Alcotest.test_case "determinism across jobs x affine" `Quick test_block_parallel_determinism;
     Alcotest.test_case "unknown array raises" `Quick test_unknown_array;
     Alcotest.test_case "one-sided diff is infinite" `Quick test_max_abs_diff_one_sided;
     Alcotest.test_case "affine rewrite structure" `Quick test_affine_rewrite_structure;
+    Alcotest.test_case "zero-length arrays" `Quick test_zero_length_arrays;
+    test_snapshot_restore_bit_identity;
+    Alcotest.test_case "release lifecycle" `Quick test_release_lifecycle;
+    Alcotest.test_case "arena pool recycles" `Quick test_pool_recycles;
   ]

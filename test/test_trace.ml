@@ -195,6 +195,15 @@ let test_golden_stage_tree () =
     "pinned diffuse launch counters"
     [ ("blocks", 8); ("threads", 1024); ("read_bytes", 486080); ("write_bytes", 69440) ]
     (Trace.counters trace "launch:diffuse");
+  (* root-span counters: profile-cache attribution plus the memory-pool
+     activity of the whole transform. Requests/cells are a pure function
+     of the simulation call sequence, so exact values are a golden
+     surface (pool hits/misses are warmth-dependent and live in the
+     note side channel, excluded from canonical output). *)
+  Alcotest.(check (list (pair string int)))
+    "pinned root counters"
+    [ ("sim_cache_hits", 2); ("sim_cache_misses", 2); ("pool_requests", 4); ("pool_cells", 196608) ]
+    (Trace.counters trace "kft-transform");
   (* the stage report renders the tree when the report carries a trace *)
   Alcotest.(check bool) "report echoes the trace" true
     (match report.F.trace with Some t -> t == trace | None -> false);

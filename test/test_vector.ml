@@ -232,7 +232,7 @@ let test_memory_snapshot () =
     (List.for_all (fun n -> Mem.dims mem n = Mem.dims r1 n) (Mem.names mem));
   (* restores are independent: mutating one does not leak into the
      snapshot or into a later restore *)
-  (Mem.get r1 "U").(0) <- 1234.5;
+  (Mem.get r1 "U").{0} <- 1234.5;
   let r2 = Mem.restore snap in
   Alcotest.(check bool) "snapshot unaffected by mutation" true
     (Mem.equal_within ~tol:0.0 mem r2)
@@ -253,7 +253,7 @@ let test_sim_cache_replay () =
          a.stats = b.stats)
        r1.profiles r2.profiles);
   (* a replay is a private copy: corrupting it cannot poison the cache *)
-  (Mem.get r2.Kft_sim.Profiler.memory "U").(0) <- -999.0;
+  (Mem.get r2.Kft_sim.Profiler.memory "U").{0} <- -999.0;
   (List.hd r2.profiles).stats.I.global_read_bytes <- 0;
   let r3 = Kft_metadata.Metadata.profile ~cache Util.device prog in
   Alcotest.(check bool) "cache unaffected by caller mutation" true

@@ -1,6 +1,12 @@
-(* Bench regression guard: compare the committed BENCH_sim.json against
-   the committed BENCH_baseline.json and fail if any (app, config)
-   speedup regressed by more than 10%.
+(* Bench regression guard, two-sided: compare the committed
+   BENCH_sim.json against the committed BENCH_baseline.json and fail if
+   any (app, config) speedup regressed by more than 10% — or jumped by
+   more than 3x, which is never a genuine same-machine improvement of a
+   ratio metric and almost always means the baseline has rotted (stale
+   file after an optimization landed, or rows measured under a
+   different methodology). A rotted baseline silently widens the
+   regression head-room of every later commit, so it fails the build
+   just like a regression; the fix is to refresh BENCH_baseline.json.
 
    Speedups are relative to the same run's reference interpreter, so
    machine-to-machine wall-clock differences largely cancel; a >10% drop
@@ -101,11 +107,16 @@ let () =
           incr failures;
           Printf.eprintf "bench_check: FAIL %s/%s regressed: %.3fx -> %.3fx (>10%% drop)\n"
             section cfg base_speedup sp
+      | Some sp when sp > base_speedup *. 3.0 ->
+          incr failures;
+          Printf.eprintf
+            "bench_check: FAIL %s/%s jumped %.3fx -> %.3fx (>3x): baseline rot — refresh %s\n"
+            section cfg base_speedup sp base_path
       | Some _ -> ())
     baseline;
   if !failures > 0 then begin
-    Printf.eprintf "bench_check: %d regression(s) against %s\n" !failures base_path;
+    Printf.eprintf "bench_check: %d failure(s) against %s\n" !failures base_path;
     exit 1
   end;
-  Printf.printf "bench_check: %d configs within 10%% of baseline (%d rows compared)\n"
+  Printf.printf "bench_check: %d configs within [-10%%, +3x] of baseline (%d rows compared)\n"
     (List.length baseline) (List.length fresh)
