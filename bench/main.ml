@@ -853,6 +853,77 @@ let assert_alloc_budget () =
         per_thread alloc_budget_words_per_thread)
     configs
 
+(* liveness-driven arena overlay (kft_schedflow): per application, pool
+   high-water of a profiled run with the packed layout vs under the
+   overlay, where arrays whose live intervals never overlap share slots.
+   The overlay is only sound for runs whose final memory is discarded;
+   every per-kernel statistic must be — and is asserted here to be —
+   bit-identical to the packed run, across execution backends and
+   worker counts. *)
+let overlay_bench () =
+  print_endline "== liveness-driven arena overlay (kft_schedflow, seed 42) ==";
+  print_endline
+    "application   packed-Kcells  overlay-Kcells  high-water saving   stats";
+  let module Sf = Kft_schedflow.Schedflow in
+  let run ?engine ?affine ?backend ?layout p =
+    Kft_sim.Memory.Pool.reset ();
+    let r = Kft_sim.Profiler.profile ?engine ?affine ?backend ?layout device p in
+    let sts =
+      List.map
+        (fun (kp : Kft_sim.Profiler.kernel_profile) -> (kp.kernel, kp.stats))
+        r.profiles
+    in
+    let hw = (Kft_sim.Memory.Pool.stats ()).Kft_sim.Memory.Pool.high_water in
+    Kft_sim.Memory.release r.memory;
+    (sts, hw)
+  in
+  List.iter
+    (fun name ->
+      let p = (app name).program in
+      let packed =
+        List.fold_left (fun acc a -> acc + Kft_cuda.Ast.array_cells a) 0 p.Kft_cuda.Ast.p_arrays
+      in
+      match Sf.arena_layout (Sf.analyze p) with
+      | None ->
+          Printf.printf "%-13s %13d %15s\n%!" name (packed / 1000) "(no disjoint liveness)"
+      | Some layout ->
+          let sts_plain, hw_plain = run p in
+          let sts_ovl, hw_ovl = run ~layout p in
+          (* bit-identity sweep: the overlay run must reproduce the packed
+             run's per-kernel stats on every backend, sequential and
+             block-parallel *)
+          let combos =
+            [
+              ("interpret", 1, false, None);
+              ("vectorized", 1, true, Some Kft_sim.Interp.Vector);
+              ("compiled-affine-j4", 4, true, None);
+            ]
+          in
+          let identical =
+            sts_plain = sts_ovl
+            && List.for_all
+                 (fun (label, jobs, affine, backend) ->
+                   let sts, _ =
+                     if jobs <= 1 then run ~affine ?backend ~layout p
+                     else
+                       Engine.with_engine ~jobs ~memo:false (fun e ->
+                           run ~engine:e ~affine ?backend ~layout p)
+                   in
+                   let ok = sts = sts_plain in
+                   if not ok then
+                     Printf.eprintf "[bench] mem: overlay stats diverged on %s/%s\n%!" name
+                       label;
+                   ok)
+                 combos
+          in
+          if not identical then exit 1;
+          Printf.printf "%-13s %13d %15d %11.1f%%        bit-identical\n%!" name
+            (hw_plain / 1000)
+            (hw_ovl / 1000)
+            (100.0 *. float_of_int (hw_plain - hw_ovl) /. float_of_int hw_plain))
+    all_app_names;
+  print_newline ()
+
 let mem_bench () =
   print_endline "== memory substrate: GC allocation + arena pool (jobs=1) ==";
   print_endline "application   config           minor-Mwords  words/thread  pool-hit%";
@@ -884,7 +955,8 @@ let mem_bench () =
      "  pool since start: %d requests, %d recycled, %d fresh, high water %.1f Mcells\n%!"
      s.requests s.hits s.misses
      (float_of_int s.high_water /. 1e6));
-  print_newline ()
+  print_newline ();
+  overlay_bench ()
 
 (* ------------------------------------------------------------------ *)
 (* Smoke: one tiny transformation per bench mode (tier-1 rot check)    *)

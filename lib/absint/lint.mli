@@ -47,6 +47,18 @@ val programs :
     [measured] is keyed by program name. The result is identical for
     every [jobs] value. *)
 
+val normalize : finding list -> finding list
+(** Sort into the total order and deduplicate. Producers of findings
+    outside this module (the schedule-level rules of kft_schedflow)
+    normalize through this so merged reports keep the byte-stability
+    contract. *)
+
+val severity_name : severity -> string
+(** ["warning"] / ["info"] — the JSON field spelling. *)
+
+val json_escape : string -> string
+(** Minimal JSON string escaping used by {!render_json}. *)
+
 val render : finding -> string
 (** One line: [program:kernel:line:col: severity [rule] message]. *)
 

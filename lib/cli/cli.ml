@@ -135,11 +135,144 @@ let lint_cmd =
          ])
     Term.(const lint_run $ json $ jobs $ strict $ no_profile $ only $ trace_file)
 
+(* ------------------------------------------------------------------ *)
+(* kft schedflow                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sf = Kft_schedflow.Schedflow
+
+(* analyze the selected programs, optionally on worker domains; the
+   output order is the (deterministic) app order, so the rendering is
+   byte-identical at any worker count *)
+let schedflow_analyses ~jobs progs =
+  let arr = Array.of_list progs in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let work i = out.(i) <- Some (Sf.analyze arr.(i)) in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      work i
+    done
+  else begin
+    let domains =
+      List.init jobs (fun j ->
+          Domain.spawn (fun () ->
+              let i = ref j in
+              while !i < n do
+                work !i;
+                i := !i + jobs
+              done))
+    in
+    List.iter Domain.join domains
+  end;
+  List.filter_map Fun.id (Array.to_list out)
+
+let schedflow_run json jobs strict only trace_file =
+  let apps = lint_apps () in
+  let known (a : Kft_apps.Apps.app) = a.program.Kft_cuda.Ast.p_name in
+  match
+    ( only,
+      List.filter (fun n -> not (List.exists (fun a -> known a = n) apps)) only )
+  with
+  | _ :: _, (_ :: _ as bad) ->
+      Printf.eprintf "kft schedflow: unknown program%s %s (have: %s)\n"
+        (if List.length bad = 1 then "" else "s")
+        (String.concat ", " bad)
+        (String.concat ", " (List.map known apps));
+      2
+  | only, _ ->
+      let apps =
+        match only with
+        | [] -> apps
+        | names -> List.filter (fun a -> List.mem (known a) names) apps
+      in
+      let trace =
+        match trace_file with Some _ -> Some (Trace.create "kft-schedflow") | None -> None
+      in
+      let analyses =
+        Trace.with_span trace "schedflow" (fun () ->
+            let ts =
+              schedflow_analyses ~jobs
+                (List.map (fun (a : Kft_apps.Apps.app) -> a.program) apps)
+            in
+            List.iter
+              (fun (sf : Sf.t) ->
+                Trace.with_span trace ("schedflow:" ^ sf.Sf.program.Kft_cuda.Ast.p_name)
+                  (fun () ->
+                    let s = sf.Sf.stats in
+                    Trace.add trace "ops" s.Sf.st_ops;
+                    Trace.add trace "launches" s.st_launches;
+                    Trace.add trace "arrays" s.st_arrays;
+                    Trace.add trace "deps" s.st_deps;
+                    Trace.add trace "deps_refined" s.st_deps_refined;
+                    Trace.add trace "regions_proved" s.st_regions_proved;
+                    Trace.add trace "regions_fallback" s.st_regions_fallback;
+                    Trace.add trace "issues" (List.length sf.Sf.issues);
+                    Trace.add trace "findings" (List.length (Sf.lint sf))))
+              ts;
+            Trace.note trace "jobs" (Trace.Int jobs);
+            ts)
+      in
+      (match (trace_file, trace) with
+      | Some path, Some t -> write_file path (Trace.render_json t)
+      | _ -> ());
+      print_string
+        (if json then Sf.render_json analyses
+         else String.concat "" (List.map Sf.render_human analyses));
+      let findings = L.normalize (List.concat_map Sf.lint analyses) in
+      let issues = List.concat_map (fun (sf : Sf.t) -> sf.Sf.issues) analyses in
+      if
+        issues <> []
+        || L.warnings findings > 0
+        || (strict && L.infos findings > 0)
+      then 1
+      else 0
+
+let schedflow_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as one JSON document (stable field order, byte-identical across $(b,--jobs) settings).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Analyze programs on $(docv) worker domains. The output is identical at any worker count.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on advisory (info) findings too, not just dataflow issues and warnings.")
+  in
+  let only =
+    Arg.(value & opt_all string [] & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Analyze only the named program(s); repeatable. Default: quickstart plus all bundled applications.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Write a deterministic machine-JSON trace (kft_trace) with per-program dataflow counters.")
+  in
+  Cmd.v
+    (Cmd.info "schedflow"
+       ~doc:"Whole-schedule inter-kernel dataflow and liveness analysis"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Builds the array-granularity schedule dependence graph of every \
+              selected program: per-operation read/write sets (element regions \
+              where the abstract domain proves them, whole arrays otherwise), \
+              per-array liveness intervals, RAW/WAR/WAW dependences, and the \
+              dataflow issues (non-input arrays read before any write, stores \
+              never read back). Also reports the schedule-level lint rules: \
+              arrays that are dead end-to-end ($(b,dead-array)), pure \
+              copy launches whose proved footprints match ($(b,redundant-copy)) \
+              and single-use temporaries that could live in faster storage \
+              ($(b,transient-global)).";
+           `P
+             "Exits 1 on any dataflow issue or warning finding (with \
+              $(b,--strict), any finding).";
+         ])
+    Term.(const schedflow_run $ json $ jobs $ strict $ only $ trace_file)
+
 let kft_cmd =
   Cmd.group
     (Cmd.info "kft" ~version:"1.0.0"
        ~doc:"Static analysis companion tools for the transformation framework")
-    [ lint_cmd ]
+    [ lint_cmd; schedflow_cmd ]
 
 let kft_main ?argv () = Cmd.eval' ?argv kft_cmd
 
@@ -160,7 +293,7 @@ let list_apps () =
 
 let transform_run app_name device_name generations population jobs no_memo no_sim_cache
     no_fission no_tuning expert_codegen filter verify seed out_dir emit_cuda quiet list
-    trace_file chrome_file backend_name =
+    trace_file chrome_file backend_name no_schedflow =
   if list then begin
     list_apps ();
     `Ok ()
@@ -220,6 +353,7 @@ let transform_run app_name device_name generations population jobs no_memo no_si
                     seed;
                   };
                 backend;
+                schedflow = not no_schedflow;
               }
             in
             let trace =
@@ -334,12 +468,15 @@ let transform_cmd =
   let backend_name =
     Arg.(value & opt string "auto" & info [ "backend" ] ~docv:"auto|interp|affine|vector" ~doc:"Simulator execution backend for every pipeline run. All backends produce bit-identical results; $(b,auto) picks the whole-grid vectorized backend for launches the abstract interpreter proves eligible and falls back to the affine lockstep interpreter otherwise.")
   in
+  let no_schedflow =
+    Arg.(value & flag & info [ "no-schedflow" ] ~doc:"Disable the whole-schedule dataflow stage: no schedflow stage report, no liveness-driven arena overlay for the fission pre-run, and no schedule-level lint rules.")
+  in
   let term =
     Term.ret
       Term.(
         const transform_run $ app_arg $ device $ generations $ population $ jobs $ no_memo
         $ no_sim_cache $ no_fission $ no_tuning $ expert $ filter $ verify $ seed $ out_dir
-        $ emit_cuda $ quiet $ list $ trace_file $ chrome_file $ backend_name)
+        $ emit_cuda $ quiet $ list $ trace_file $ chrome_file $ backend_name $ no_schedflow)
   in
   Cmd.v
     (Cmd.info "kft-transform" ~version:"1.0.0"

@@ -9,6 +9,7 @@ module Fusion = Kft_codegen.Fusion
 module Canonical = Kft_codegen.Canonical
 module Classify = Kft_analysis.Classify
 module Verify = Kft_verify.Verify
+module Schedflow = Kft_schedflow.Schedflow
 module Trace = Kft_trace.Trace
 
 type filter_mode = Automated | Manual | No_filtering
@@ -25,6 +26,7 @@ type config = {
   verify_tolerance : float;
   sim_cache : Meta.Sim_cache.t option;
   backend : Kft_sim.Interp.backend;
+  schedflow : bool;
 }
 
 let default_config =
@@ -40,6 +42,7 @@ let default_config =
     (* Auto is safe as the default precisely because backends are
        bit-identical: it can only change how fast stage 1 runs *)
     backend = Kft_sim.Interp.Auto;
+    schedflow = true;
   }
 
 type hooks = {
@@ -66,6 +69,7 @@ type report = {
   baseline : Kft_sim.Profiler.run;
   metadata : Meta.t;
   graphs : Ddg.t;
+  schedflow : Schedflow.t option;
   targets : target_info list;
   fission_plans : (string * Fission.plan) list;
   gga : Gga.result option;
@@ -180,6 +184,24 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
         Trace.add trace "oeg_edges" (Kft_graph.Digraph.edge_count g.Ddg.oeg);
         g)
   in
+  (* stage 3b: whole-schedule dataflow / liveness. The array-granularity
+     DDG complements [Ddg.build]'s invocation graph with element regions
+     where the abstract domain proves them, and its liveness intervals
+     drive the arena overlay of the fission pre-run below. *)
+  let schedflow =
+    if not config.schedflow then None
+    else
+      Trace.with_span trace "schedflow" (fun () ->
+          let sf = Schedflow.analyze prog in
+          Trace.add trace "ops" sf.Schedflow.stats.Schedflow.st_ops;
+          Trace.add trace "launches" sf.stats.st_launches;
+          Trace.add trace "deps" sf.stats.st_deps;
+          Trace.add trace "deps_refined" sf.stats.st_deps_refined;
+          Trace.add trace "regions_proved" sf.stats.st_regions_proved;
+          Trace.add trace "regions_fallback" sf.stats.st_regions_fallback;
+          Trace.add trace "issues" (List.length sf.Schedflow.issues);
+          Some sf)
+  in
   let targets, eligible =
     Trace.with_span trace "filter" (fun () ->
         let targets0 = identify_targets config meta prog graphs in
@@ -221,9 +243,19 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
         let meta_fissioned =
           Option.map
             (fun p ->
-              let m, grun = Meta.gather ?cache ?engine ~backend ?trace ~seed:config.seed device p in
-              (* only the metadata survives this pre-step: recycle the
-                 profiled run's arena instead of waiting for the GC *)
+              (* only the metadata survives this pre-step, so the run
+                 qualifies for the liveness-driven arena overlay: arrays
+                 whose live intervals never overlap share storage, and
+                 the discarded arena is smaller. Stats and timings are
+                 bit-identical either way (see [Memory.layout]). *)
+              let layout =
+                if config.schedflow then Schedflow.arena_layout (Schedflow.analyze p) else None
+              in
+              let m, grun =
+                Meta.gather ?cache ?engine ~backend ?trace ?layout ~seed:config.seed device p
+              in
+              (* recycle the profiled run's arena instead of waiting for
+                 the GC *)
               Kft_sim.Memory.release grun.Kft_sim.Profiler.memory;
               m)
             prog_fissioned
@@ -534,6 +566,8 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
         Trace.add trace "launches_checked" vr.Verify.stats.launches_checked;
         Trace.add trace "bounds_proved" vr.Verify.stats.bounds_proved;
         Trace.add trace "bounds_fallback" vr.Verify.stats.bounds_fallback;
+        Trace.add trace "sched_deps_checked" vr.Verify.stats.sched_deps_checked;
+        Trace.add trace "sched_fallback" vr.Verify.stats.sched_fallback;
         vr)
   in
   let codegen0 = codegen_run groups in
@@ -611,6 +645,14 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
     let measured = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
     Trace.with_span trace "lint" (fun () ->
         let fs = Kft_absint.Lint.program ~measured transformed in
+        (* schedule-level rules (dead-array / redundant-copy /
+           transient-global) join the per-kernel findings in the same
+           normalized order *)
+        let fs =
+          if config.schedflow then
+            Kft_absint.Lint.normalize (fs @ Schedflow.lint_program transformed)
+          else fs
+        in
         List.iter (fun (rule, n) -> Trace.add trace rule n) (Kft_absint.Lint.rule_counts fs);
         Trace.add trace "warnings" (Kft_absint.Lint.warnings fs);
         Trace.add trace "infos" (Kft_absint.Lint.infos fs);
@@ -687,6 +729,7 @@ let transform ?(config = default_config) ?(hooks = no_hooks) ?engine ?trace prog
     baseline;
     metadata = meta;
     graphs;
+    schedflow;
     targets;
     fission_plans;
     gga = gga_result;
@@ -745,6 +788,17 @@ let stage_report r =
   List.iter
     (fun (a, n) -> p "  redundant instances added for multi-writer array %s (%d copies)" a n)
     r.graphs.versioned_arrays;
+  (match r.schedflow with
+  | None -> ()
+  | Some sf ->
+      let s = sf.Schedflow.stats in
+      p "  schedflow: %d ops (%d launches), %d arrays, %d deps (%d refined away by proved regions)"
+        s.Schedflow.st_ops s.st_launches s.st_arrays s.st_deps s.st_deps_refined;
+      p "  schedflow regions: %d proved, %d whole-array fallback; %d dataflow issue%s"
+        s.st_regions_proved s.st_regions_fallback
+        (List.length sf.Schedflow.issues)
+        (if List.length sf.Schedflow.issues = 1 then "" else "s");
+      List.iter (fun i -> p "    %s" (Schedflow.pp_issue i)) sf.Schedflow.issues);
   p "";
   p "== stage 4: GGA search ==";
   (match r.gga with
@@ -786,6 +840,9 @@ let stage_report r =
        (if v.complete then "" else " (budget exhausted: report incomplete)");
      p "  bounds: %d launches proved by absint, %d on sampled fallback"
        v.stats.bounds_proved v.stats.bounds_fallback;
+     if v.stats.sched_deps_checked > 0 || v.stats.sched_fallback > 0 then
+       p "  schedule: %d source dependences checked end-to-end, %d launches unplaced"
+         v.stats.sched_deps_checked v.stats.sched_fallback;
      (match v.diagnostics with
      | [] -> p "  clean: no races, barrier divergence, bounds violations or order violations"
      | ds -> List.iter (fun d -> p "  %s" (Verify.pp_diagnostic d)) ds);

@@ -40,6 +40,13 @@ type config = {
       (** simulator execution backend for those runs. Backends are
           bit-identical, so this only affects pipeline wall time; the
           default is {!Kft_sim.Interp.Auto}. *)
+  schedflow : bool;
+      (** run the whole-schedule dataflow analysis
+          ({!Kft_schedflow.Schedflow}): a [schedflow] stage after DDG
+          construction, a liveness-driven arena overlay for the
+          discarded fission pre-run, and the schedule-level lint rules
+          merged into [lint_findings]. On by default; [false] restores
+          the previous pipeline exactly. *)
 }
 
 val default_config : config
@@ -69,6 +76,11 @@ type report = {
   baseline : Kft_sim.Profiler.run;
   metadata : Kft_metadata.Metadata.t;
   graphs : Kft_ddg.Ddg.t;
+  schedflow : Kft_schedflow.Schedflow.t option;
+      (** whole-schedule dataflow analysis of the source program
+          (liveness intervals, array-granularity dependences, read-
+          before-write / dead-store issues); [None] when
+          [config.schedflow] is [false] *)
   targets : target_info list;
   fission_plans : (string * Kft_fission.Fission.plan) list;
       (** lazy-fission pre-step: plan per fissionable target kernel *)
@@ -131,8 +143,9 @@ val transform :
     down.
 
     [trace] records the pipeline under deterministic stage spans
-    ([gather], [ddg], [filter], [fission], [search], [codegen],
-    [verify], [profile-transformed], [output-verify], [lint]) with
+    ([gather], [ddg], [schedflow], [filter], [fission], [search],
+    [codegen], [verify], [profile-transformed], [output-verify],
+    [lint]) with
     per-stage counters; jobs-dependent quantities (plan-cache hit/miss
     split, engine pool statistics) are recorded as side-channel notes
     only, so {!Kft_trace.Trace.render_json} stays byte-identical at any

@@ -88,12 +88,17 @@ end
 
 val profile :
   ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t ->
-  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
+  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t ->
+  ?layout:Kft_sim.Memory.layout -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> Kft_sim.Profiler.run
 (** {!Kft_sim.Profiler.profile} through the cache: a hit replays the
     stored run (snapshot-restored) instead of re-simulating; a miss
     simulates — block-parallel when [engine] is given, on [backend] when
-    given — and stores a private snapshot. *)
+    given — and stores a private snapshot. [layout] runs under a
+    liveness-driven arena overlay; the cache key then gains a
+    schedflow-verdict tag (a digest of the layout), so overlay and
+    packed runs of the same program never replay each other's
+    snapshots. *)
 
 val verify :
   ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t ->
@@ -108,7 +113,8 @@ val verify :
 
 val gather :
   ?cache:Sim_cache.t -> ?engine:Kft_engine.Engine.t ->
-  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t -> ?seed:int ->
+  ?backend:Kft_sim.Interp.backend -> ?trace:Kft_trace.Trace.t ->
+  ?layout:Kft_sim.Memory.layout -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> t * Kft_sim.Profiler.run
 (** The metadata-gathering stage: one instrumented run on the simulated
     device plus static analysis of every kernel. [cache] memoizes the

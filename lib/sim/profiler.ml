@@ -43,8 +43,8 @@ let profile_with_memory ?engine ?affine ?backend ?trace device mem prog =
     memory = mem;
   }
 
-let profile ?engine ?affine ?backend ?trace ?(seed = 42) device prog =
-  let mem = Memory.create prog.p_arrays in
+let profile ?engine ?affine ?backend ?trace ?layout ?(seed = 42) device prog =
+  let mem = Memory.create ?layout prog.p_arrays in
   Memory.init_seeded mem ~seed;
   profile_with_memory ?engine ?affine ?backend ?trace device mem prog
 

@@ -20,13 +20,16 @@ type run = {
 
 val profile :
   ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:Interp.backend ->
-  ?trace:Kft_trace.Trace.t -> ?seed:int ->
+  ?trace:Kft_trace.Trace.t -> ?layout:Memory.layout -> ?seed:int ->
   Kft_device.Device.t -> Kft_cuda.Ast.program -> run
 (** Allocate and seed device memory (default seed 42), then run the full
     schedule. [engine] and [affine] are passed through to
     {!Interp.launch}, as is [backend] (backend selection never changes
     the profile — all backends are bit-identical — only how fast it is
-    produced). [trace] records one span per launch. *)
+    produced). [layout] places the arrays by a liveness-driven overlay
+    (see {!Memory.layout}): statistics and timings are bit-identical,
+    only the arena is smaller — use when the run's memory is discarded.
+    [trace] records one span per launch. *)
 
 val profile_with_memory :
   ?engine:Kft_engine.Engine.t -> ?affine:bool -> ?backend:Interp.backend ->

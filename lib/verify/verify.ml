@@ -6,14 +6,16 @@ module Ddg = Kft_ddg.Ddg
 module Fusion = Kft_codegen.Fusion
 module Canonical = Kft_codegen.Canonical
 module Codegen = Kft_codegen.Codegen
+module Schedflow = Kft_schedflow.Schedflow
 
-type pass = Race | Barrier | Bounds | Translation | Engine
+type pass = Race | Barrier | Bounds | Translation | Schedule | Engine
 
 let pass_name = function
   | Race -> "race"
   | Barrier -> "barrier"
   | Bounds -> "bounds"
   | Translation -> "translation"
+  | Schedule -> "schedule"
   | Engine -> "engine"
 
 type diagnostic = {
@@ -21,6 +23,7 @@ type diagnostic = {
   d_pass : pass;
   d_loc : Loc.pos;
   d_stmt : string;
+  d_array : string;  (* array the finding is about, "" when not array-specific *)
   d_message : string;
 }
 
@@ -36,6 +39,8 @@ type stats = {
   events : int;
   bounds_proved : int;  (* launches whose every access absint proved in bounds *)
   bounds_fallback : int;  (* launches that needed the sampled bounds walk *)
+  sched_deps_checked : int;  (* source schedule dependences checked end-to-end *)
+  sched_fallback : int;  (* source launches the member mapping could not place *)
 }
 
 type report = { diagnostics : diagnostic list; stats : stats; complete : bool }
@@ -48,6 +53,8 @@ let empty_stats =
     events = 0;
     bounds_proved = 0;
     bounds_fallback = 0;
+    sched_deps_checked = 0;
+    sched_fallback = 0;
   }
 let empty_report = { diagnostics = []; stats = empty_stats; complete = true }
 
@@ -58,12 +65,14 @@ let pass_counts r =
     (fun p ->
       ( pass_name p,
         List.length (List.filter (fun (d : diagnostic) -> d.d_pass = p) r.diagnostics) ))
-    [ Race; Barrier; Bounds; Translation; Engine ]
+    [ Race; Barrier; Bounds; Translation; Schedule; Engine ]
 
 (* Diagnostics are kept in a canonical order — (kernel, line, col, pass,
-   message, statement) — so that merged or parallel-produced reports
-   render identically regardless of scheduling ([--jobs] sweeps must be
-   byte-stable). [sort_uniq] also deduplicates across merged reports. *)
+   message, statement, array) — so that merged or parallel-produced
+   reports render identically regardless of scheduling ([--jobs] sweeps
+   must be byte-stable). [sort_uniq] also deduplicates across merged
+   reports; the array name participates so two different-array findings
+   at the same kernel:line:col never collapse into one. *)
 let compare_diagnostics (a : diagnostic) (b : diagnostic) =
   let c = compare a.d_kernel b.d_kernel in
   if c <> 0 then c
@@ -78,7 +87,10 @@ let compare_diagnostics (a : diagnostic) (b : diagnostic) =
         if c <> 0 then c
         else
           let c = compare a.d_message b.d_message in
-          if c <> 0 then c else compare a.d_stmt b.d_stmt
+          if c <> 0 then c
+          else
+            let c = compare a.d_stmt b.d_stmt in
+            if c <> 0 then c else compare a.d_array b.d_array
 
 let normalize_diagnostics ds = List.sort_uniq compare_diagnostics ds
 
@@ -93,6 +105,8 @@ let merge a b =
         events = a.stats.events + b.stats.events;
         bounds_proved = a.stats.bounds_proved + b.stats.bounds_proved;
         bounds_fallback = a.stats.bounds_fallback + b.stats.bounds_fallback;
+        sched_deps_checked = a.stats.sched_deps_checked + b.stats.sched_deps_checked;
+        sched_fallback = a.stats.sched_fallback + b.stats.sched_fallback;
       };
     complete = a.complete && b.complete;
   }
@@ -115,6 +129,8 @@ type collector = {
   mutable threads : int;
   mutable bproved : int;
   mutable bfallback : int;
+  mutable sdeps : int;
+  mutable sfallback : int;
 }
 
 let new_collector budget =
@@ -129,6 +145,8 @@ let new_collector budget =
     threads = 0;
     bproved = 0;
     bfallback = 0;
+    sdeps = 0;
+    sfallback = 0;
   }
 
 (* One-line statement rendering is quoted in diagnostics and in the
@@ -157,14 +175,25 @@ let stmt_line s =
       Stmt_memo.replace stmt_memo s text;
       text
 
-let emit col ~pass ~kernel ~loc ~stmt ~key fmt =
+let emit col ~pass ~kernel ~loc ~stmt ?(array = "") ~key fmt =
   Printf.ksprintf
     (fun msg ->
-      let k = Printf.sprintf "%s|%s|%s|%s" (pass_name pass) kernel (Loc.pp loc) key in
+      (* the array participates in the dedupe key: two different-array
+         findings at the same kernel:loc must both survive *)
+      let k =
+        Printf.sprintf "%s|%s|%s|%s|%s" (pass_name pass) kernel (Loc.pp loc) array key
+      in
       if not (Hashtbl.mem col.seen k) then begin
         Hashtbl.replace col.seen k ();
         col.out <-
-          { d_kernel = kernel; d_pass = pass; d_loc = loc; d_stmt = stmt; d_message = msg }
+          {
+            d_kernel = kernel;
+            d_pass = pass;
+            d_loc = loc;
+            d_stmt = stmt;
+            d_array = array;
+            d_message = msg;
+          }
           :: col.out
       end)
     fmt
@@ -180,6 +209,8 @@ let report_of col =
         events = col.events;
         bounds_proved = col.bproved;
         bounds_fallback = col.bfallback;
+        sched_deps_checked = col.sdeps;
+        sched_fallback = col.sfallback;
       };
     complete = col.complete;
   }
@@ -868,4 +899,90 @@ let validate ?(budget = default_budget) ?(options = Fusion.auto_options) ~source
               ~key:"launch" "a fused member has no launch in the source schedule"
       end)
     res.reports;
+  (* schedule pass: whole-schedule dataflow issues on the transformed
+     schedule, then end-to-end preservation of the source schedule DDG
+     (the per-group member-order check above only sees pairs inside one
+     fused kernel; this check covers every source dependence) *)
+  let sf_out = Schedflow.analyze res.program in
+  let out_ops = Array.of_list sf_out.Schedflow.ops in
+  let op_kernel i =
+    match out_ops.(i).Schedflow.op_kind with
+    | Schedflow.Launch_op l -> l.l_kernel
+    | _ -> ""
+  in
+  List.iter
+    (fun issue ->
+      match issue with
+      | Schedflow.Read_before_write { rb_array; rb_op } ->
+          emit col ~pass:Schedule ~kernel:(op_kernel rb_op) ~loc:Loc.none ~stmt:""
+            ~array:rb_array
+            ~key:(Printf.sprintf "rbw|%d" rb_op)
+            "array %s is read at schedule op %d before any write" rb_array rb_op
+      | Schedflow.Dead_store { ds_array; ds_op } ->
+          emit col ~pass:Schedule ~kernel:(op_kernel ds_op) ~loc:Loc.none ~stmt:""
+            ~array:ds_array
+            ~key:(Printf.sprintf "dead|%d" ds_op)
+            "the write to array %s at schedule op %d is never read back" ds_array ds_op)
+    sf_out.Schedflow.issues;
+  let deps = Schedflow.launch_deps (Schedflow.analyze source) in
+  (* transformed position of each source launch: reports are emitted in
+     transformed schedule order and list their source members by kernel
+     name, so per-kernel FIFO queues resolve re-launches in order *)
+  let queues : (string, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun ti (rep : Codegen.kernel_report) ->
+      List.iter
+        (fun m ->
+          let q =
+            match Hashtbl.find_opt queues m with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.replace queues m q;
+                q
+          in
+          Queue.add ti q)
+        rep.members)
+    res.reports;
+  let src_launches =
+    List.filter_map (function Launch l -> Some l | _ -> None) source.p_schedule
+    |> Array.of_list
+  in
+  let pos =
+    Array.map
+      (fun (l : launch) ->
+        match Hashtbl.find_opt queues l.l_kernel with
+        | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+        | _ -> None)
+      src_launches
+  in
+  let unplaced =
+    Array.fold_left (fun n p -> if p = None then n + 1 else n) 0 pos
+  in
+  let leftover =
+    Hashtbl.fold (fun _ q n -> n + Queue.length q) queues 0
+  in
+  col.sdeps <- col.sdeps + List.length deps;
+  if unplaced > 0 || leftover > 0 then begin
+    col.sfallback <- col.sfallback + unplaced + leftover;
+    emit col ~pass:Schedule ~kernel:"" ~loc:Loc.none ~stmt:"" ~key:"coverage"
+      "schedule DDG validation incomplete: %d source launch%s unplaced, %d transformed member%s unmatched"
+      unplaced
+      (if unplaced = 1 then "" else "es")
+      leftover
+      (if leftover = 1 then "" else "s")
+  end;
+  List.iter
+    (fun (i, j, a) ->
+      match (pos.(i), pos.(j)) with
+      | Some pi, Some pj when pi > pj ->
+          emit col ~pass:Schedule ~kernel:src_launches.(j).l_kernel ~loc:Loc.none
+            ~stmt:"" ~array:a
+            ~key:(Printf.sprintf "ddg|%d|%d" i j)
+            "transformed schedule reorders a source dependence on %s: %s (launch %d) \
+             must precede %s (launch %d)"
+            a
+            src_launches.(i).l_kernel i src_launches.(j).l_kernel j
+      | _ -> ())
+    deps;
   report_of col

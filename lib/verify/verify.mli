@@ -35,7 +35,14 @@
        source program's DDG/OEG, with the group's legality re-derived
        through [Fusion.check_group]. A failed validation rejects the
        group (the framework re-emits its members unfused), mirroring
-       {e and} cross-checking the forward legality rules.}}
+       {e and} cross-checking the forward legality rules.}
+    {- {b Schedule validation} — the whole-schedule dataflow analysis
+       of [Kft_schedflow.Schedflow] runs over the transformed schedule
+       (flagging non-input arrays read before any write and stores
+       never read back) and every RAW / WAR / WAW dependence of the
+       source schedule DDG is checked to hold end-to-end in the
+       transformed schedule, complementing the per-group member-order
+       check with inter-kernel coverage.}}
 
     Sampling: blocks are enumerated at the grid corners plus the first
     interior neighbours (where halo overlap between adjacent blocks
@@ -43,7 +50,7 @@
     sampled block. An event budget bounds the walk; exhausting it marks
     the report incomplete rather than wrong. *)
 
-type pass = Race | Barrier | Bounds | Translation | Engine
+type pass = Race | Barrier | Bounds | Translation | Schedule | Engine
 
 val pass_name : pass -> string
 
@@ -54,6 +61,10 @@ type diagnostic = {
       (** source position of the offending statement when the kernel was
           parsed from text; {!Kft_cuda.Loc.none} for synthesized ASTs *)
   d_stmt : string;  (** one-line rendering of the offending statement *)
+  d_array : string;
+      (** array the finding is about, [""] when not array-specific. Part
+          of the dedupe/order key, so two different-array findings at
+          the same kernel:line:col both survive {!merge}. *)
   d_message : string;
 }
 
@@ -72,6 +83,11 @@ type stats = {
   bounds_fallback : int;
       (** launches with at least one access the abstract domain could
           not decide: the sampled bounds walk remains authoritative *)
+  sched_deps_checked : int;
+      (** source schedule dependences checked end-to-end by {!validate} *)
+  sched_fallback : int;
+      (** source launches (or transformed members) the schedule mapping
+          could not place — 0 means full schedule-DDG coverage *)
 }
 
 type report = {
@@ -83,7 +99,7 @@ type report = {
 val empty_report : report
 
 val pass_counts : report -> (string * int) list
-(** Finding count per pass, always all five passes in declaration order
+(** Finding count per pass, always all six passes in declaration order
     — the deterministic per-pass counters the trace layer records. *)
 
 val merge : report -> report -> report
@@ -107,9 +123,13 @@ val validate :
   source:Kft_cuda.Ast.program ->
   Kft_codegen.Codegen.result ->
   report
-(** Translation validation (pass 4) of a code-generation result against
-    the [source] program it was derived from (post-fission): verifies
-    every emitted kernel with passes 1–3, re-checks each fused group's
-    legality through [Fusion.check_group] on freshly extracted canonical
-    members, and rejects fused kernels whose member order contradicts
-    the source OEG. Diagnostics carry the {e fused} kernel's name. *)
+(** Translation validation (passes 4–5) of a code-generation result
+    against the [source] program it was derived from (post-fission):
+    verifies every emitted kernel with passes 1–3, re-checks each fused
+    group's legality through [Fusion.check_group] on freshly extracted
+    canonical members, rejects fused kernels whose member order
+    contradicts the source OEG, and validates the whole transformed
+    schedule against the source schedule DDG (pass [schedule]: issue
+    checks plus end-to-end dependence preservation, with
+    [sched_deps_checked] / [sched_fallback] recorded in the stats).
+    Diagnostics carry the {e fused} kernel's name. *)

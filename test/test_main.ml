@@ -76,6 +76,49 @@ let test_lint_trace () =
   Alcotest.(check string) "byte-identical across two runs" t1 (Util.read_file f2);
   Alcotest.(check string) "byte-identical across --jobs 1/4" t1 (Util.read_file f4)
 
+(* ---------------- kft schedflow ---------------- *)
+
+let test_schedflow_json () =
+  let rc, out, _ = kft [| "kft"; "schedflow"; "--json"; "-a"; "quickstart" |] in
+  Alcotest.(check int) "quickstart analysis is clean" 0 rc;
+  check_valid_json "schedflow --json output" out;
+  Alcotest.(check bool) "report header" true
+    (Util.contains out "\"tool\":\"kft-schedflow\"")
+
+let test_schedflow_human () =
+  let rc, out, _ = kft [| "kft"; "schedflow"; "-a"; "quickstart" |] in
+  Alcotest.(check int) "exit 0" 0 rc;
+  Alcotest.(check bool) "liveness table" true (Util.contains out "liveness:");
+  Alcotest.(check bool) "schedule deps" true (Util.contains out "raw")
+
+let test_schedflow_unknown_program () =
+  let rc, _, err = kft [| "kft"; "schedflow"; "-a"; "nope" |] in
+  Alcotest.(check int) "exit code 2" 2 rc;
+  Alcotest.(check bool) "names the unknown program" true
+    (Util.contains err "unknown program")
+
+let test_schedflow_jobs_identical () =
+  with_tmp_files 2 @@ fun files ->
+  let f1, f4 = match files with [ a; b ] -> (a, b) | _ -> assert false in
+  let run file jobs =
+    let rc, out, _ =
+      kft
+        [|
+          "kft"; "schedflow"; "--json"; "-a"; "quickstart"; "-j"; string_of_int jobs;
+          "--trace"; file;
+        |]
+    in
+    Alcotest.(check int) "clean exit" 0 rc;
+    out
+  in
+  let o1 = run f1 1 in
+  let o4 = run f4 4 in
+  Alcotest.(check string) "report byte-identical across --jobs 1/4" o1 o4;
+  let t1 = Util.read_file f1 in
+  check_valid_json "schedflow trace" t1;
+  Alcotest.(check bool) "per-program span" true (Util.contains t1 "schedflow:quickstart");
+  Alcotest.(check string) "trace byte-identical across --jobs 1/4" t1 (Util.read_file f4)
+
 (* ---------------- kft-transform ---------------- *)
 
 (* a small, fast transformation; --no-sim-cache keeps in-process
@@ -158,6 +201,11 @@ let cli_suite =
     Alcotest.test_case "lint bad flag exits 124" `Quick test_lint_bad_flag;
     Alcotest.test_case "unknown subcommand exits 124" `Quick test_lint_unknown_subcommand;
     Alcotest.test_case "lint --trace is deterministic" `Quick test_lint_trace;
+    Alcotest.test_case "schedflow --json emits valid JSON" `Quick test_schedflow_json;
+    Alcotest.test_case "schedflow human report" `Quick test_schedflow_human;
+    Alcotest.test_case "schedflow unknown program exits 2" `Quick
+      test_schedflow_unknown_program;
+    Alcotest.test_case "schedflow identical across jobs" `Quick test_schedflow_jobs_identical;
     Alcotest.test_case "transform --list" `Quick test_transform_list;
     Alcotest.test_case "transform unknown app fails" `Quick test_transform_unknown_app;
     Alcotest.test_case "transform bad flag exits 124" `Quick test_transform_bad_flag;
@@ -192,6 +240,7 @@ let () =
       ("golden", Test_golden.suite);
       ("verify", Test_verify.suite @ Test_verify.roundtrip_suite);
       ("absint", Test_absint.suite);
+      ("schedflow", Test_schedflow.suite);
       ("trace", Test_trace.suite);
       ("trace-golden", Test_trace.golden_suite);
       ("fuzz", Test_fuzz.suite);

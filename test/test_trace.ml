@@ -173,7 +173,7 @@ let traced_quickstart ~jobs =
 
 let stage_names =
   [
-    "gather"; "ddg"; "filter"; "fission"; "search"; "codegen"; "verify";
+    "gather"; "ddg"; "schedflow"; "filter"; "fission"; "search"; "codegen"; "verify";
     "profile-transformed"; "output-verify"; "lint";
   ]
 
@@ -188,6 +188,13 @@ let test_golden_stage_tree () =
     "pinned ddg counters"
     [ ("ddg_nodes", 7); ("ddg_edges", 7); ("oeg_nodes", 3); ("oeg_edges", 2) ]
     (Trace.counters trace "ddg");
+  Alcotest.(check (list (pair string int)))
+    "pinned schedflow counters"
+    [
+      ("ops", 3); ("launches", 3); ("deps", 2); ("deps_refined", 0);
+      ("regions_proved", 7); ("regions_fallback", 0); ("issues", 0);
+    ]
+    (Trace.counters trace "schedflow");
   Alcotest.(check (list (pair string int)))
     "pinned filter counters" [ ("invocations", 3); ("targets", 3) ]
     (Trace.counters trace "filter");

@@ -1,0 +1,90 @@
+(* CI driver behind the [schedflow] dune alias (`dune build @schedflow`):
+   runs the whole-schedule dataflow analyzer over the quickstart example
+   and the six bundled evaluation applications — the source programs AND
+   the output of the full pipeline (small GGA budget, fatal verification
+   gate) — with warnings as errors:
+
+   - any dataflow issue (read-before-write, dead store) fails,
+   - any dead-array / redundant-copy warning finding fails,
+   - any Schedule-pass diagnostic from translation validation fails,
+   - the schedule-DDG check must have full coverage: at least one source
+     dependence checked end-to-end and zero unplaced launches
+     (sched_fallback = 0) on every transformed program.
+
+   `schedflow_all smoke` restricts the sweep to the quickstart program;
+   the test suite uses it as a cheap guard inside `dune runtest`. *)
+
+module F = Kft_framework.Framework
+module Sf = Kft_schedflow.Schedflow
+module L = Kft_absint.Lint
+module V = Kft_verify.Verify
+
+let failures = ref 0
+
+let check_analysis what prog =
+  let sf = Sf.analyze prog in
+  let findings = Sf.lint sf in
+  let w = L.warnings findings in
+  let s = sf.Sf.stats in
+  let ok = sf.Sf.issues = [] && w = 0 in
+  Printf.printf
+    "%-28s %s  (%d ops, %d deps, %d refined, %d/%d regions proved, %d issues, %d warnings, %d notes)\n"
+    what
+    (if ok then "clean" else "DEFECTS")
+    s.Sf.st_ops s.st_deps s.st_deps_refined s.st_regions_proved
+    (s.st_regions_proved + s.st_regions_fallback)
+    (List.length sf.Sf.issues) w (L.infos findings);
+  if not ok then begin
+    incr failures;
+    List.iter (fun i -> Printf.printf "    %s\n" (Sf.pp_issue i)) sf.Sf.issues;
+    List.iter
+      (fun (f : L.finding) ->
+        if f.f_severity = L.Warn then Printf.printf "    %s\n" (L.render f))
+      findings
+  end
+
+let check_schedule_pass what (r : V.report) =
+  let sched =
+    List.filter (fun (d : V.diagnostic) -> d.d_pass = V.Schedule) r.diagnostics
+  in
+  let covered = r.stats.sched_deps_checked > 0 && r.stats.sched_fallback = 0 in
+  let ok = sched = [] && covered in
+  Printf.printf "%-28s %s  (%d schedule deps checked end-to-end, %d unplaced, %d diagnostics)\n"
+    what
+    (if ok then "clean" else "DEFECTS")
+    r.stats.sched_deps_checked r.stats.sched_fallback (List.length sched);
+  if not ok then begin
+    incr failures;
+    List.iter (fun d -> Printf.printf "    %s\n" (V.pp_diagnostic d)) sched;
+    if not covered then
+      print_endline "    (incomplete schedule-DDG coverage: a launch could not be placed)"
+  end
+
+let small_config =
+  {
+    F.default_config with
+    verify_mode = F.Verify_fatal;
+    gga_params = { Kft_gga.Gga.default_params with population = 12; generations = 10 };
+  }
+
+let () =
+  let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke" in
+  let apps =
+    if smoke then [ Kft_apps.Apps.quickstart () ]
+    else Kft_apps.Apps.quickstart () :: Kft_apps.Apps.all ()
+  in
+  List.iter
+    (fun (a : Kft_apps.Apps.app) ->
+      check_analysis (a.app_name ^ " (source)") a.program)
+    apps;
+  List.iter
+    (fun (a : Kft_apps.Apps.app) ->
+      let rep = F.transform ~config:small_config a.program in
+      check_analysis (a.app_name ^ " (transformed)") rep.F.transformed;
+      check_schedule_pass (a.app_name ^ " (schedule DDG)") rep.F.verify_report)
+    apps;
+  if !failures > 0 then begin
+    Printf.printf "schedflow: %d failures\n" !failures;
+    exit 1
+  end
+  else print_endline "schedflow: all clean"
